@@ -1,0 +1,27 @@
+# Convenience targets for the PartMiner reproduction.
+
+PY ?= python3
+
+.PHONY: test bench experiments examples quicktest clean
+
+test:            ## full test suite
+	$(PY) -m pytest tests/
+
+quicktest:       ## tests minus the example subprocess smoke tests
+	$(PY) -m pytest tests/ --ignore=tests/test_examples.py
+
+bench:           ## every figure + ablations (~15 min), saves JSON
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:     ## run everything and regenerate EXPERIMENTS.md
+	$(PY) benchmarks/run_all.py
+
+plots:           ## render benchmarks/results/*.json as SVG charts
+	$(PY) benchmarks/make_plots.py
+
+examples:        ## run every example script
+	for s in examples/*.py; do echo "== $$s"; $(PY) $$s || exit 1; done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,74 @@
+"""Ablation: hot-set drift (the limits of ufreq-based partitioning).
+
+The paper assumes the frequently-updated vertices are known and stable —
+GraphPart isolates them once, and updates keep landing there.  Real
+spatiotemporal workloads drift: the objects that move this week are not
+the ones that moved last month.  This ablation streams several epochs of
+updates with increasing drift and measures how IncPartMiner's locality
+degrades (affected units per epoch, update-handling time).
+
+Expected: with no drift, updates stay corralled; as drift grows, more
+units are touched per epoch and update handling approaches a full re-mine.
+"""
+
+from repro.bench.harness import Experiment
+from repro.core.incremental import IncrementalPartMiner
+from repro.datagen.synthetic import generate_dataset
+from repro.updates.stream import UpdateStream
+from repro.updates.tracker import hot_vertex_assignment
+
+from .conftest import finish, run_once
+
+DATASET = "D100T12N15L30I5"
+MINSUP = 0.05
+K = 4
+EPOCHS = 3
+DRIFTS = [0.0, 0.3, 0.6, 1.0]
+
+
+def test_ablation_hot_set_drift(benchmark):
+    def sweep():
+        exp = Experiment(
+            "abl4",
+            f"Hot-set drift vs update locality ({DATASET}, k={K}, "
+            f"{EPOCHS} epochs)",
+            "drift probability",
+            "value",
+        )
+        locality_series = exp.new_series(
+            "units touched per updated graph (1..k)"
+        )
+        time_series = exp.new_series("avg update-handling time (s)")
+        for drift in DRIFTS:
+            database = generate_dataset(DATASET, seed=71)
+            ufreq = hot_vertex_assignment(database, 0.2, seed=72)
+            miner = IncrementalPartMiner(k=K)
+            miner.initial_mine(database, MINSUP, ufreq=ufreq)
+            stream = UpdateStream(
+                miner.database,
+                ufreq,
+                num_labels=15,
+                fraction_graphs=0.25,
+                ops_per_graph=1,
+                kind="mixed",
+                drift=drift,
+                seed=73,
+            )
+            total_pairs = 0
+            total_updated = 0
+            total_time = 0.0
+            for _, batch in stream.batches(EPOCHS):
+                result = miner.apply_updates(batch)
+                total_pairs += result.stats.changed_piece_pairs
+                total_updated += result.stats.updated_graphs
+                total_time += result.stats.total_time
+            locality_series.add(
+                drift, total_pairs / max(1, total_updated)
+            )
+            time_series.add(drift, total_time / EPOCHS)
+        return exp
+
+    exp = run_once(benchmark, sweep)
+    finish(exp)
+    locality = exp.series[0].ys()
+    assert all(1.0 <= value <= K for value in locality)

@@ -1,0 +1,59 @@
+"""Ablation: full vs selective unit re-mining (the library's extension).
+
+The paper re-executes the memory-based miner over every affected unit
+(Fig 12 line 5).  `unit_remine="selective"` re-examines only the changed
+pieces instead — exactly (the tests prove equality).  This ablation
+measures the payoff as a function of how much of the database one batch
+touches: small batches should re-mine a sliver, huge batches should fall
+back to (and cost the same as) the paper's full re-mine.
+"""
+
+from repro.bench.harness import Experiment
+from repro.core.incremental import IncrementalPartMiner
+from repro.datagen.synthetic import generate_dataset
+from repro.updates.generator import UpdateGenerator
+from repro.updates.tracker import hot_vertex_assignment
+
+from .conftest import finish, run_once
+
+DATASET = "D120T12N15L30I5"
+MINSUP = 0.05
+K = 2
+AMOUNTS = [0.05, 0.1, 0.2, 0.4]
+
+
+def test_ablation_selective_remine(benchmark):
+    def sweep():
+        exp = Experiment(
+            "abl5",
+            f"Unit re-mining strategy ({DATASET}, minsup={MINSUP}, k={K})",
+            "amount of updates (fraction of graphs)",
+            "unit re-mining time (s)",
+        )
+        full_series = exp.new_series("full re-mine (paper)")
+        selective_series = exp.new_series("selective re-mine (extension)")
+        for amount in AMOUNTS:
+            times = {}
+            results = {}
+            for mode in ("full", "selective"):
+                database = generate_dataset(DATASET, seed=81)
+                ufreq = hot_vertex_assignment(database, 0.2, seed=82)
+                miner = IncrementalPartMiner(k=K, unit_remine=mode)
+                miner.initial_mine(database, MINSUP, ufreq=ufreq)
+                batch = UpdateGenerator(15, 15, seed=83).generate(
+                    miner.database, miner.ufreq, amount, 1, "mixed"
+                )
+                result = miner.apply_updates(batch)
+                times[mode] = result.stats.remine_time
+                results[mode] = result.patterns.keys()
+            assert results["full"] == results["selective"]
+            full_series.add(amount, times["full"])
+            selective_series.add(amount, times["selective"])
+        return exp
+
+    exp = run_once(benchmark, sweep)
+    finish(exp)
+    full_times = exp.series[0].ys()
+    selective_times = exp.series[1].ys()
+    # At the smallest batch the selective strategy must win clearly.
+    assert selective_times[0] < full_times[0]

@@ -1,0 +1,69 @@
+"""Table 1: the synthetic data generator.
+
+Verifies the generator delivers the parameter semantics of Table 1 (the
+average graph size tracks T, labels stay within N, kernels average I
+edges) and benchmarks generation throughput.
+"""
+
+from repro.bench.harness import Experiment
+from repro.datagen.synthetic import DatasetSpec, SyntheticGenerator
+
+from .conftest import finish, run_once
+
+
+def test_tbl1_generator_semantics(benchmark):
+    def sweep():
+        exp = Experiment(
+            "tbl1",
+            "Data generator: requested T vs delivered average size",
+            "T (requested)",
+            "avg edges (delivered)",
+        )
+        delivered = exp.new_series("avg edges")
+        kernel_sizes = exp.new_series("avg kernel edges (I=5)")
+        for t in (8, 12, 16, 20, 25):
+            spec = DatasetSpec(
+                num_graphs=60,
+                avg_edges=t,
+                num_labels=20,
+                num_kernels=30,
+                kernel_avg_edges=5,
+                seed=31,
+            )
+            generator = SyntheticGenerator(spec)
+            db = generator.generate()
+            delivered.add(t, db.average_size())
+            kernel_sizes.add(
+                t,
+                sum(k.num_edges for k in generator.kernels)
+                / len(generator.kernels),
+            )
+            # Table 1 semantics: labels live in 0..N-1.
+            for graph in db.graphs():
+                assert all(
+                    0 <= graph.vertex_label(v) < 20
+                    for v in graph.vertices()
+                )
+        return exp
+
+    exp = run_once(benchmark, sweep)
+    finish(exp)
+    for t, avg in exp.series[0].points:
+        assert t * 0.8 <= avg <= t * 1.6, (t, avg)
+
+
+def test_tbl1_generation_throughput(benchmark):
+    spec = DatasetSpec(
+        num_graphs=100,
+        avg_edges=12,
+        num_labels=20,
+        num_kernels=30,
+        kernel_avg_edges=5,
+        seed=32,
+    )
+
+    def generate():
+        return SyntheticGenerator(spec).generate()
+
+    db = benchmark(generate)
+    assert len(db) == 100

@@ -1,0 +1,103 @@
+"""Figure 13: effect of the partitioning criteria.
+
+Compares ADIMINE against PartMiner under four per-graph partitioners:
+METIS-like (connectivity only, multilevel), Partition1 (isolate updated
+vertices), Partition2 (minimize connectivity), Partition3 (both).
+
+Fig 13(a): static dataset, runtime vs minimum support.
+Fig 13(b): dynamic dataset (40% of graphs updated), runtime of the update
+handling per criterion vs minimum support.
+
+Expected shape (paper): the GraphPart criteria beat METIS; Partition2 is
+best in the static case, Partition3 in the dynamic case.
+"""
+
+from repro.bench.harness import Experiment
+from repro.partition.graphpart import GraphPartitioner
+from repro.partition.metis import MetisPartitioner
+from repro.partition.weights import PARTITION1, PARTITION2, PARTITION3
+
+from ._helpers import (
+    make_update_batch,
+    prepare_incremental,
+    time_adimine_dynamic,
+    time_adimine_static,
+    time_incremental,
+    time_partminer_static,
+)
+from .conftest import STATIC_SMALL, finish, run_once
+
+MINSUPS = [0.02, 0.03, 0.04, 0.05, 0.06]
+
+PARTITIONERS = [
+    ("METIS", lambda: MetisPartitioner()),
+    ("Partition1", lambda: GraphPartitioner(PARTITION1)),
+    ("Partition2", lambda: GraphPartitioner(PARTITION2)),
+    ("Partition3", lambda: GraphPartitioner(PARTITION3)),
+]
+
+
+def test_fig13a_static(benchmark, small_dataset, small_ufreq):
+    def sweep():
+        exp = Experiment(
+            "fig13a",
+            f"Partitioning criteria, static ({STATIC_SMALL}, k=2)",
+            "minsup",
+            "runtime (s)",
+        )
+        adimine = exp.new_series("ADIMINE")
+        part_series = {
+            name: exp.new_series(name) for name, _ in PARTITIONERS
+        }
+        for minsup in MINSUPS:
+            elapsed, _ = time_adimine_static(small_dataset, minsup)
+            adimine.add(minsup, elapsed)
+            for name, factory in PARTITIONERS:
+                aggregate, _, _ = time_partminer_static(
+                    small_dataset,
+                    minsup,
+                    k=2,
+                    partitioner=factory(),
+                    ufreq=small_ufreq,
+                )
+                part_series[name].add(minsup, aggregate)
+        return exp
+
+    finish(run_once(benchmark, sweep))
+
+
+def test_fig13b_dynamic(benchmark, small_dataset, small_ufreq):
+    def sweep():
+        exp = Experiment(
+            "fig13b",
+            f"Partitioning criteria, dynamic ({STATIC_SMALL}, 40% updated)",
+            "minsup",
+            "update-handling runtime (s)",
+        )
+        adimine = exp.new_series("ADIMINE")
+        part_series = {
+            name: exp.new_series(name) for name, _ in PARTITIONERS
+        }
+        for minsup in MINSUPS:
+            for name, factory in PARTITIONERS:
+                inc = prepare_incremental(
+                    small_dataset,
+                    minsup,
+                    small_ufreq,
+                    k=2,
+                    partitioner=factory(),
+                )
+                updates = make_update_batch(
+                    inc.database, inc.ufreq, 0.4, "mixed"
+                )
+                elapsed, _, _ = time_incremental(inc, updates)
+                part_series[name].add(minsup, elapsed)
+                if name == "Partition3":
+                    # Time ADIMINE on exactly the same updated database.
+                    adi_elapsed, _ = time_adimine_dynamic(
+                        small_dataset, inc.database, minsup
+                    )
+                    adimine.add(minsup, adi_elapsed)
+        return exp
+
+    finish(run_once(benchmark, sweep))

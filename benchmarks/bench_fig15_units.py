@@ -1,0 +1,85 @@
+"""Figure 15: effect of the number of units k.
+
+Runtime as k grows from 2 to 6, in both execution modes (Section 5.1.3):
+*aggregate* (serial: unit times summed) and *parallel with 1 CPU* (max of
+the unit times per level), against ADIMINE.
+
+Expected shape (paper): runtime grows with k (more merge-joins); parallel
+is below aggregate; in the dynamic case IncPartMiner beats ADIMINE in both
+modes.
+"""
+
+from repro.bench.harness import Experiment
+
+from ._helpers import (
+    make_update_batch,
+    prepare_incremental,
+    time_adimine_dynamic,
+    time_adimine_static,
+    time_incremental,
+    time_partminer_static,
+)
+from .conftest import STATIC_LARGE, finish, run_once
+
+KS = [2, 3, 4, 5, 6]
+# minsup chosen so the paper's unit threshold sup/k stays >= 2 across the
+# whole k sweep (at sup/k = 1 unit mining degenerates into exhaustive
+# enumeration — a regime the paper's 50k-graph thresholds never touch).
+MINSUP = 0.06
+
+
+def test_fig15a_static(benchmark, large_dataset):
+    def sweep():
+        exp = Experiment(
+            "fig15a",
+            f"Runtime vs number of units, static ({STATIC_LARGE}, "
+            f"minsup={MINSUP})",
+            "k",
+            "runtime (s)",
+        )
+        adimine = exp.new_series("ADIMINE")
+        aggregate_series = exp.new_series("PartMiner aggregate")
+        parallel_series = exp.new_series("PartMiner parallel")
+        adi_elapsed, _ = time_adimine_static(large_dataset, MINSUP)
+        for k in KS:
+            adimine.add(k, adi_elapsed)  # ADIMINE is independent of k
+            aggregate, parallel, _ = time_partminer_static(
+                large_dataset, MINSUP, k=k
+            )
+            aggregate_series.add(k, aggregate)
+            parallel_series.add(k, parallel)
+        return exp
+
+    finish(run_once(benchmark, sweep))
+
+
+def test_fig15b_dynamic(benchmark, large_dataset, large_ufreq):
+    def sweep():
+        exp = Experiment(
+            "fig15b",
+            f"Runtime vs number of units, dynamic ({STATIC_LARGE}, "
+            f"40% updated, minsup={MINSUP})",
+            "k",
+            "update-handling runtime (s)",
+        )
+        adimine = exp.new_series("ADIMINE")
+        aggregate_series = exp.new_series("IncPartMiner aggregate")
+        parallel_series = exp.new_series("IncPartMiner parallel")
+        for k in KS:
+            inc = prepare_incremental(
+                large_dataset, MINSUP, large_ufreq, k=k
+            )
+            updates = make_update_batch(
+                inc.database, inc.ufreq, 0.4, "mixed"
+            )
+            elapsed, parallel, _ = time_incremental(inc, updates)
+            aggregate_series.add(k, elapsed)
+            parallel_series.add(k, parallel)
+            if k == KS[0]:
+                adi_elapsed, _ = time_adimine_dynamic(
+                    large_dataset, inc.database, MINSUP
+                )
+            adimine.add(k, adi_elapsed)
+        return exp
+
+    finish(run_once(benchmark, sweep))

@@ -1,0 +1,78 @@
+"""Figure 17: effect of various types of updates.
+
+IncPartMiner vs ADIMINE as the amount of updates grows from 20% to 80% of
+the database's graphs, for the paper's two update families:
+
+Fig 17(a): relabel vertex/edge labels (existing or new labels).
+Fig 17(b): add new vertices/edges (existing or new labels).
+
+Expected shape (paper): IncPartMiner below ADIMINE at every update
+percentage, both roughly linear in the update amount, the gap narrowing as
+more of the database churns.
+"""
+
+from repro.bench.harness import Experiment
+
+from ._helpers import (
+    make_update_batch,
+    prepare_incremental,
+    time_adimine_dynamic,
+    time_incremental,
+)
+from .conftest import STATIC_SMALL, finish, run_once
+
+MINSUP = 0.04
+AMOUNTS = [0.2, 0.4, 0.6, 0.8]
+
+
+def _sweep(kind, exp_id, title, small_dataset, small_ufreq):
+    exp = Experiment(
+        exp_id,
+        f"{title} ({STATIC_SMALL}, minsup={MINSUP}, k=2)",
+        "amount of updates (fraction of graphs)",
+        "update-handling runtime (s)",
+    )
+    adimine = exp.new_series("ADIMINE")
+    incpartminer = exp.new_series("IncPartMiner")
+    for amount in AMOUNTS:
+        inc = prepare_incremental(small_dataset, MINSUP, small_ufreq, k=2)
+        updates = make_update_batch(
+            inc.database, inc.ufreq, amount, kind, seed=int(amount * 100)
+        )
+        elapsed, _, _ = time_incremental(inc, updates)
+        incpartminer.add(amount, elapsed)
+        adi_elapsed, _ = time_adimine_dynamic(
+            small_dataset, inc.database, MINSUP
+        )
+        adimine.add(amount, adi_elapsed)
+    return exp
+
+
+def test_fig17a_relabel_updates(benchmark, small_dataset, small_ufreq):
+    finish(
+        run_once(
+            benchmark,
+            lambda: _sweep(
+                "relabel",
+                "fig17a",
+                "Update vertex/edge labels",
+                small_dataset,
+                small_ufreq,
+            ),
+        )
+    )
+
+
+def test_fig17b_structural_updates(benchmark, small_dataset, small_ufreq):
+    finish(
+        run_once(
+            benchmark,
+            lambda: _sweep(
+                "structural",
+                "fig17b",
+                "Add new vertices/edges",
+                small_dataset,
+                small_ufreq,
+            ),
+        )
+    )

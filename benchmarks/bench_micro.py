@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the algorithmic primitives.
+
+Unlike the figure benches (single-shot sweeps that print paper-style
+tables), these use pytest-benchmark's repeated measurement to track the
+primitives everything else is built from: canonical codes, subgraph
+isomorphism, the merge-join, and unit mining.  Useful for catching
+performance regressions when touching the substrate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mergejoin import merge_join
+from repro.datagen.random_models import erdos_renyi
+from repro.datagen.synthetic import generate_dataset
+from repro.graph.canonical import min_dfs_code
+from repro.graph.isomorphism import subgraph_exists
+from repro.mining.gaston import GastonMiner
+from repro.mining.gspan import GSpanMiner
+from repro.partition.dbpartition import db_partition
+
+
+@pytest.fixture(scope="module")
+def micro_db():
+    return generate_dataset("D60T10N10L20I4", seed=91)
+
+
+class TestCanonicalMicro:
+    def test_min_dfs_code_tree(self, benchmark):
+        rng = random.Random(1)
+        graph = erdos_renyi(10, 0.0, 3, rng)  # a 9-edge tree
+        code = benchmark(min_dfs_code, graph)
+        assert len(code) == 9
+
+    def test_min_dfs_code_cyclic(self, benchmark):
+        rng = random.Random(2)
+        graph = erdos_renyi(8, 0.25, 3, rng)
+        code = benchmark(min_dfs_code, graph)
+        assert len(code) == graph.num_edges
+
+    def test_min_dfs_code_symmetric_cycle(self, benchmark):
+        from tests.conftest import make_graph
+
+        n = 10
+        cycle = make_graph(
+            [0] * n, [(i, (i + 1) % n, 0) for i in range(n)]
+        )
+        code = benchmark(min_dfs_code, cycle)
+        assert len(code) == n
+
+
+class TestIsomorphismMicro:
+    def test_subgraph_exists_hit(self, benchmark, micro_db):
+        rng = random.Random(3)
+        target = micro_db[0]
+        # a real sub-piece of the target is guaranteed to embed
+        edges = list(target.edges())[:4]
+        pattern = target.edge_subgraph((u, v) for u, v, _ in edges)
+        components = pattern.connected_components()
+        pattern = pattern.induced_subgraph(
+            max(components, key=len)
+        )
+        assert benchmark(subgraph_exists, pattern, target)
+
+    def test_subgraph_exists_miss(self, benchmark, micro_db):
+        from tests.conftest import triangle
+
+        pattern = triangle(labels=(97, 98, 99))
+        assert not benchmark(subgraph_exists, pattern, micro_db[0])
+
+
+class TestMiningMicro:
+    def test_gspan_small_database(self, benchmark, micro_db):
+        result = benchmark(GSpanMiner().mine, micro_db, 0.15)
+        assert len(result) > 0
+
+    def test_gaston_small_database(self, benchmark, micro_db):
+        result = benchmark(GastonMiner().mine, micro_db, 0.15)
+        assert len(result) > 0
+
+
+class TestMergeJoinMicro:
+    def test_merge_join_level(self, benchmark, micro_db):
+        tree = db_partition(micro_db, 2)
+        threshold = micro_db.absolute_support(0.15)
+        miner = GastonMiner()
+        left = miner.mine(tree.units()[0].database, max(1, threshold // 2))
+        right = GastonMiner().mine(
+            tree.units()[1].database, max(1, threshold // 2)
+        )
+        result = benchmark(
+            merge_join, micro_db, left, right, threshold
+        )
+        assert len(result) > 0

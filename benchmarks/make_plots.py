@@ -1,0 +1,31 @@
+"""Render benchmarks/results/*.json as SVG line charts.
+
+Run after the benchmark suite: ``python benchmarks/make_plots.py``.
+Charts land next to the JSON as ``benchmarks/results/<exp_id>.svg``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.plots import save_plots  # noqa: E402
+
+
+def main() -> int:
+    results = ROOT / "benchmarks" / "results"
+    if not results.exists():
+        print(f"no results under {results}; run the benchmarks first")
+        return 1
+    written = save_plots(results)
+    for path in written:
+        print(f"wrote {path}")
+    print(f"{len(written)} charts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The ADIMINE baseline: disk-based mining through the ADI structure.
+
+Demonstrates the reproduction's disk substrate: graphs serialized into
+fixed-size pages behind an LRU buffer, the ADI edge-table/directory index
+on top, and gSpan-style mining that never needs the database in memory.
+Shows the I/O profile under different buffer sizes and the cost of the
+full index rebuild an update batch forces — the weakness IncPartMiner
+exploits.
+
+Run:  python examples/disk_based_mining.py
+"""
+
+import time
+
+from repro import ADIMiner, UpdateGenerator, generate_dataset
+from repro.updates.model import apply_updates
+from repro.updates.tracker import hot_vertex_assignment
+
+MINSUP = 0.06
+
+
+def main() -> None:
+    database = generate_dataset("D150T12N12L25I5", seed=41)
+    print(f"database: {len(database)} graphs, "
+          f"{database.total_edges()} edges")
+
+    # --- buffer-size sensitivity --------------------------------------
+    print(f"\nmining at minsup {MINSUP} under different page buffers:")
+    print(f"{'buffer (pages)':>15s} {'runtime':>9s} {'page reads':>11s} "
+          f"{'cache hits':>11s} {'pages':>6s}")
+    for cache_pages in (4, 16, 64, 256):
+        with ADIMiner(page_size=512, cache_pages=cache_pages) as miner:
+            start = time.perf_counter()
+            result = miner.mine(database, MINSUP)
+            elapsed = time.perf_counter() - start
+            print(
+                f"{cache_pages:>15d} {elapsed:>8.2f}s "
+                f"{miner.storage.stats.page_reads:>11d} "
+                f"{miner.storage.stats.cache_hits:>11d} "
+                f"{miner.storage.num_pages:>6d}"
+            )
+    print(f"-> {len(result)} frequent patterns either way; only I/O varies")
+
+    # --- the update problem --------------------------------------------
+    print("\nnow update 30% of the graphs...")
+    with ADIMiner(page_size=512, cache_pages=64) as miner:
+        start = time.perf_counter()
+        miner.mine(database, MINSUP)
+        initial = time.perf_counter() - start
+
+        updated = database.copy(deep=True)
+        ufreq = hot_vertex_assignment(updated, 0.2, seed=5)
+        generator = UpdateGenerator(12, 12, seed=6)
+        apply_updates(
+            updated, generator.generate(updated, ufreq, 0.3, 2, "mixed")
+        )
+
+        start = time.perf_counter()
+        miner.mine_updated(updated, MINSUP)
+        update_cost = time.perf_counter() - start
+        print(f"initial build + mine: {initial:.2f}s")
+        print(f"after update batch:   {update_cost:.2f}s "
+              f"(index builds: {miner.stats.index_builds} — the whole "
+              "structure is rebuilt)")
+    print("\nThe rebuild-everything behaviour is what the paper's "
+          "IncPartMiner avoids;\nsee examples/spatiotemporal_updates.py "
+          "for the incremental side.")
+
+
+if __name__ == "__main__":
+    main()

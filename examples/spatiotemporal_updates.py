@@ -1,0 +1,112 @@
+"""Incremental mining over an evolving spatiotemporal graph database.
+
+The paper's motivating scenario (Section 1): spatiotemporal applications
+model object relationships as graphs, and those graphs change constantly —
+re-mining from scratch after every change is prohibitive.
+
+This example simulates a fleet of moving objects: each graph snapshot
+relates objects (vehicles, sensors, landmarks) with proximity ("near"),
+containment ("in-zone") and heading ("follows") relationships.  A small
+set of *hot* objects (vehicles) moves every epoch, relabeling and adding
+relationships; landmarks never change.  IncPartMiner maintains the
+frequent relationship patterns across epochs, re-mining only the affected
+partition units, and classifies every pattern as UF (unchanged), FI
+(frequent -> infrequent) or IF (infrequent -> frequent).
+
+Run:  python examples/spatiotemporal_updates.py
+"""
+
+import time
+
+from repro import (
+    ADIMiner,
+    GSpanMiner,
+    IncrementalPartMiner,
+    UpdateGenerator,
+    generate_dataset,
+    hot_vertex_assignment,
+)
+
+MINSUP = 0.08
+EPOCHS = 4
+
+# In the paper's setting the database is too large for memory, so the
+# from-scratch alternative is the disk-based ADIMINE.  Our demo database
+# is tiny, so the disk-bound regime is modeled with a per-page latency
+# (see DESIGN.md, substitutions).
+DISK_READ_DELAY = 0.001
+
+
+def main() -> None:
+    # 90 region snapshots, ~12 relationships each; vertex labels are
+    # object types, edge labels relationship types.
+    database = generate_dataset("D90T12N12L25I4", seed=19)
+    print(f"spatiotemporal snapshots: {len(database)} graphs, "
+          f"avg {database.average_size():.1f} relationships")
+
+    # 20% of the objects are mobile (hot); the partitioner will corral
+    # them into as few units as possible (Partition3 criterion).
+    ufreq = hot_vertex_assignment(database, hot_fraction=0.2, seed=23)
+
+    miner = IncrementalPartMiner(k=4)
+    start = time.perf_counter()
+    initial = miner.initial_mine(database, MINSUP, ufreq=ufreq)
+    print(f"\nepoch 0 (initial mine): {len(initial.patterns)} frequent "
+          f"patterns in {time.perf_counter() - start:.2f}s")
+
+    # The from-scratch competitor: disk-based ADIMINE over the same data.
+    adimine = ADIMiner(cache_pages=16, read_delay=DISK_READ_DELAY)
+    adimine.mine(miner.database, MINSUP)
+
+    movement = UpdateGenerator(
+        num_vertex_labels=12, num_edge_labels=12, seed=29
+    )
+    for epoch in range(1, EPOCHS + 1):
+        # Each epoch, 30% of the regions see object movement: relabels
+        # (state changes) and new edges/objects (new relationships).
+        updates = movement.generate(
+            miner.database, miner.ufreq, fraction_graphs=0.3,
+            ops_per_graph=2, kind="mixed",
+        )
+        start = time.perf_counter()
+        result = miner.apply_updates(updates)
+        incremental_time = time.perf_counter() - start
+
+        # What the from-scratch disk-based system pays on the same data
+        # (index rebuild + full re-mine through the page buffer):
+        start = time.perf_counter()
+        adimine.mine_updated(miner.database, MINSUP)
+        full_time = time.perf_counter() - start
+
+        # In-memory gSpan as a verification oracle (only possible because
+        # this demo database is small enough to hold in memory).
+        full = GSpanMiner().mine(miner.database, MINSUP)
+
+        stats = result.stats
+        print(
+            f"\nepoch {epoch}: {len(updates)} updates touched "
+            f"{stats.updated_graphs} snapshots"
+        )
+        print(
+            f"  re-mined {stats.units_remined}/4 units; "
+            f"prune set {stats.prune_set_size}; "
+            f"reused {stats.known_reused} known supports"
+        )
+        print(
+            f"  UF={len(result.unchanged)}  "
+            f"FI={len(result.became_infrequent)}  "
+            f"IF={len(result.became_frequent)}"
+        )
+        recall = len(result.patterns.keys() & full.keys()) / max(
+            1, len(full)
+        )
+        print(
+            f"  IncPartMiner: {incremental_time:.2f}s   "
+            f"ADIMINE rebuild+remine: {full_time:.2f}s   "
+            f"recall vs exact: {recall:.3f}"
+        )
+    adimine.close()
+
+
+if __name__ == "__main__":
+    main()

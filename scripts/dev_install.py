@@ -1,0 +1,57 @@
+"""Offline-friendly editable install.
+
+``pip install -e .`` needs the ``wheel`` package to build the editable
+hook; fully offline boxes often lack it.  Since this project is a plain
+``src/``-layout package with zero dependencies, dropping a ``.pth`` file
+into site-packages is exactly equivalent:
+
+    python scripts/dev_install.py          # install
+    python scripts/dev_install.py --remove # uninstall
+"""
+
+from __future__ import annotations
+
+import argparse
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-repo.pth"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--remove", action="store_true", help="remove the .pth hook"
+    )
+    args = parser.parse_args()
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro" / "__init__.py").exists():
+        print(f"error: {src} does not contain the repro package")
+        return 1
+
+    site_packages = Path(site.getsitepackages()[0])
+    pth = site_packages / PTH_NAME
+
+    if args.remove:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print(f"nothing to remove at {pth}")
+        return 0
+
+    pth.write_text(str(src) + "\n", encoding="utf-8")
+    print(f"wrote {pth} -> {src}")
+
+    # Smoke-check in a fresh interpreter state.
+    sys.path.insert(0, str(src))
+    import repro  # noqa: F401
+
+    print(f"import repro OK (version {repro.__version__})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (offline boxes).
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy `setup.py develop` editable-install path."""
+from setuptools import setup
+
+setup()

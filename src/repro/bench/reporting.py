@@ -1,0 +1,109 @@
+"""Turn persisted experiment results into Markdown reports.
+
+``benchmarks/`` saves one JSON per reproduced figure; this module renders
+them as Markdown tables and computes the *shape checks* EXPERIMENTS.md
+reports (who wins, by what factor, where a crossover falls).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .harness import Experiment, Series, load_experiment
+
+
+def markdown_table(experiment: Experiment) -> str:
+    """One Markdown table: x column + one column per series."""
+    xs: list[float] = []
+    for series in experiment.series:
+        for x, _ in series.points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    header = [experiment.x_label] + [s.name for s in experiment.series]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for x in xs:
+        row = [f"{x:g}"]
+        for series in experiment.series:
+            value = dict(series.points).get(x)
+            row.append("—" if value is None else f"{value:.3f}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def speedup(winner: Series, loser: Series) -> float:
+    """Geometric-mean ratio loser/winner over shared x values (>1 = wins)."""
+    loser_points = dict(loser.points)
+    ratios = [
+        loser_points[x] / y
+        for x, y in winner.points
+        if x in loser_points and y > 0
+    ]
+    if not ratios:
+        return float("nan")
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios))
+
+
+def crossover_points(a: Series, b: Series) -> list[float]:
+    """x values where the winner between the two series flips."""
+    b_points = dict(b.points)
+    shared = sorted(x for x, _ in a.points if x in b_points)
+    a_points = dict(a.points)
+    flips = []
+    previous_sign = None
+    for x in shared:
+        diff = a_points[x] - b_points[x]
+        sign = diff > 0
+        if previous_sign is not None and sign != previous_sign:
+            flips.append(x)
+        previous_sign = sign
+    return flips
+
+
+def find_series(experiment: Experiment, name_fragment: str) -> Series:
+    """The first series whose name contains ``name_fragment``."""
+    for series in experiment.series:
+        if name_fragment.lower() in series.name.lower():
+            return series
+    raise KeyError(
+        f"no series matching {name_fragment!r} in {experiment.exp_id}"
+    )
+
+
+def load_results(directory: str | Path) -> dict[str, Experiment]:
+    """All experiments saved under ``directory``, keyed by exp id."""
+    directory = Path(directory)
+    results = {}
+    for path in sorted(directory.glob("*.json")):
+        experiment = load_experiment(path)
+        results[experiment.exp_id] = experiment
+    return results
+
+
+def render_report(
+    results: dict[str, Experiment],
+    expectations: dict[str, str] | None = None,
+) -> str:
+    """A full Markdown report: table + notes per experiment.
+
+    ``expectations`` maps exp ids to hand-written shape commentary that is
+    interleaved with the measured tables.
+    """
+    expectations = expectations or {}
+    sections = []
+    for exp_id, experiment in sorted(results.items()):
+        sections.append(f"### {exp_id}: {experiment.title}")
+        if exp_id in expectations:
+            sections.append(expectations[exp_id])
+        sections.append("")
+        sections.append(f"*y = {experiment.y_label}*")
+        sections.append("")
+        sections.append(markdown_table(experiment))
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,342 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  — synthesize a database (Table 1 parameters) to a t/v/e file
+``mine``      — mine frequent patterns (partminer / gspan / gaston / adimine)
+``partition`` — split a database into k units and report cut statistics
+``update``    — apply a random update batch to a database file
+``show``      — export a database or mined patterns as Graphviz DOT
+``match``     — locate a stored pattern set inside a database
+``stats``     — print database statistics
+
+Every command reads/writes the plain-text ``t/v/e`` graph format
+(:mod:`repro.graph.io`) and the JSON-lines pattern format
+(:mod:`repro.mining.store`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.partminer import PartMiner
+from .datagen.synthetic import DatasetSpec, SyntheticGenerator
+from .graph import io as graph_io
+from .graph.dot import graph_to_dot, patterns_to_dot
+from .mining.adi.adimine import ADIMiner
+from .mining.gaston import GastonMiner
+from .mining.gspan import GSpanMiner
+from .mining.store import read_patterns, save_patterns
+from .partition.dbpartition import db_partition
+from .partition.graphpart import GraphPartitioner
+from .partition.metis import MetisPartitioner
+from .partition.weights import PartitionWeights
+from .updates.generator import UPDATE_KINDS, UpdateGenerator
+from .updates.model import apply_updates
+from .updates.tracker import hot_vertex_assignment
+
+
+def _support(text: str) -> float | int:
+    value = float(text)
+    return int(value) if value >= 1 and value == int(value) else value
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Synthesize a database from a Table-1 spec name."""
+    spec = DatasetSpec.from_name(args.spec, seed=args.seed)
+    database = SyntheticGenerator(spec).generate()
+    graph_io.write_database(database, args.output)
+    print(
+        f"wrote {len(database)} graphs "
+        f"(avg {database.average_size():.1f} edges) to {args.output}"
+    )
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine frequent patterns with the chosen algorithm."""
+    database = graph_io.read_database(args.database)
+    start = time.perf_counter()
+    if args.algorithm == "partminer":
+        partitioner = None
+        if args.metis:
+            partitioner = MetisPartitioner()
+        elif args.lambda1 is not None or args.lambda2 is not None:
+            partitioner = GraphPartitioner(
+                PartitionWeights(
+                    lambda1=args.lambda1 if args.lambda1 is not None else 1.0,
+                    lambda2=args.lambda2 if args.lambda2 is not None else 1.0,
+                )
+            )
+        miner = PartMiner(
+            k=args.k,
+            partitioner=partitioner,
+            unit_support=args.unit_support,
+            max_size=args.max_size,
+        )
+        result = miner.mine(database, args.support)
+        patterns = result.patterns
+        timing = (
+            f"aggregate {result.aggregate_time:.2f}s, "
+            f"parallel {result.parallel_time:.2f}s"
+        )
+    else:
+        if args.algorithm == "gspan":
+            miner = GSpanMiner(max_size=args.max_size)
+        elif args.algorithm == "gaston":
+            miner = GastonMiner(max_size=args.max_size)
+        elif args.algorithm == "adimine":
+            miner = ADIMiner(max_size=args.max_size)
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(args.algorithm)
+        patterns = miner.mine(database, args.support)
+        timing = f"{time.perf_counter() - start:.2f}s"
+    print(f"{len(patterns)} frequent patterns ({timing})")
+    if args.output:
+        save_patterns(
+            patterns,
+            args.output,
+            meta={
+                "database": args.database,
+                "support": args.support,
+                "algorithm": args.algorithm,
+            },
+        )
+        print(f"saved to {args.output}")
+    else:
+        for pattern in sorted(
+            patterns, key=lambda p: (-p.size, -p.support)
+        )[: args.top]:
+            from .graph.canonical import min_dfs_code
+
+            print(
+                f"  support={pattern.support:4d} size={pattern.size} "
+                f"{min_dfs_code(pattern.graph)}"
+            )
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """Split a database into k units and report cut statistics."""
+    database = graph_io.read_database(args.database)
+    ufreq = None
+    if args.hot_fraction:
+        ufreq = hot_vertex_assignment(
+            database, hot_fraction=args.hot_fraction, seed=args.seed
+        )
+    tree = db_partition(database, args.k, ufreq=ufreq)
+    print(f"partitioned {len(database)} graphs into {args.k} units")
+    print(f"total connective edges: {tree.total_connective_edges()}")
+    for i, unit in enumerate(tree.units()):
+        print(
+            f"  unit {i}: depth={unit.depth} "
+            f"edges={unit.database.total_edges()} "
+            f"vertices={unit.database.total_vertices()}"
+        )
+        if args.output_prefix:
+            path = f"{args.output_prefix}{i}.tve"
+            graph_io.write_database(unit.database, path)
+            print(f"    -> {path}")
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    """Apply a random update batch and write the result."""
+    database = graph_io.read_database(args.database)
+    ufreq = hot_vertex_assignment(
+        database, hot_fraction=args.hot_fraction, seed=args.seed
+    )
+    generator = UpdateGenerator(
+        num_vertex_labels=args.labels,
+        num_edge_labels=args.labels,
+        seed=args.seed,
+    )
+    updates = generator.generate(
+        database, ufreq, args.fraction, args.ops, args.kind
+    )
+    apply_updates(database, updates)
+    graph_io.write_database(database, args.output)
+    print(
+        f"applied {len(updates)} {args.kind} updates to "
+        f"{round(args.fraction * 100)}% of graphs; wrote {args.output}"
+    )
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Export a database graph or a pattern file as Graphviz DOT."""
+    if args.patterns:
+        patterns, _ = read_patterns(args.input)
+        print(patterns_to_dot(patterns, max_patterns=args.top))
+    else:
+        database = graph_io.read_database(args.input)
+        gid = args.gid if args.gid is not None else database.gids()[0]
+        print(graph_to_dot(database[gid], name=f"g{gid}"))
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    """Locate a stored pattern set inside a database."""
+    from .query import coverage, match_patterns
+
+    database = graph_io.read_database(args.database)
+    patterns, meta = read_patterns(args.patterns)
+    relocated = match_patterns(
+        patterns,
+        database,
+        induced=args.induced,
+        min_support=args.min_support,
+    )
+    print(
+        f"{len(relocated)}/{len(patterns)} patterns occur in "
+        f"{args.database}"
+    )
+    fraction, covered = coverage(relocated, database, induced=args.induced)
+    print(f"coverage: {fraction:.1%} of graphs ({len(covered)})")
+    for pattern in sorted(
+        relocated, key=lambda p: (-p.support, -p.size)
+    )[: args.top]:
+        from .graph.canonical import min_dfs_code
+
+        print(
+            f"  support={pattern.support:4d} size={pattern.size} "
+            f"{min_dfs_code(pattern.graph)}"
+        )
+    if args.output:
+        save_patterns(
+            relocated, args.output,
+            meta={"database": args.database, "relocated_from": args.patterns},
+        )
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print database statistics."""
+    database = graph_io.read_database(args.database)
+    vertex_support = database.vertex_label_support()
+    edge_support = database.edge_triple_support()
+    print(f"graphs:          {len(database)}")
+    print(f"total vertices:  {database.total_vertices()}")
+    print(f"total edges:     {database.total_edges()}")
+    print(f"avg graph size:  {database.average_size():.2f} edges")
+    print(f"vertex labels:   {len(vertex_support)}")
+    print(f"edge triples:    {len(edge_support)}")
+    top = sorted(edge_support.items(), key=lambda kv: -kv[1])[:5]
+    print("most frequent 1-edge patterns:")
+    for (lu, le, lv), support in top:
+        print(f"  ({lu})-[{le}]-({lv}): {support} graphs")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PartMiner: partition-based graph mining (ICDE 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a graph database")
+    p.add_argument("spec", help="dataset name, e.g. D200T12N20L40I5")
+    p.add_argument("output", help="output .tve file")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("mine", help="mine frequent subgraphs")
+    p.add_argument("database", help="input .tve file")
+    p.add_argument("support", type=_support,
+                   help="min support: fraction (<1) or absolute count")
+    p.add_argument(
+        "--algorithm",
+        choices=["partminer", "gspan", "gaston", "adimine"],
+        default="partminer",
+    )
+    p.add_argument("-k", type=int, default=2, help="number of units")
+    p.add_argument("--unit-support", default="paper",
+                   help="'paper', 'exact' or an absolute count")
+    p.add_argument("--lambda1", type=float, default=None,
+                   help="weight of update-frequency term (GraphPart)")
+    p.add_argument("--lambda2", type=float, default=None,
+                   help="weight of connectivity term (GraphPart)")
+    p.add_argument("--metis", action="store_true",
+                   help="use the METIS-like partitioner")
+    p.add_argument("--max-size", type=int, default=None)
+    p.add_argument("--output", help="save patterns to this file")
+    p.add_argument("--top", type=int, default=10,
+                   help="patterns to print when not saving")
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("partition", help="split a database into units")
+    p.add_argument("database")
+    p.add_argument("-k", type=int, default=2)
+    p.add_argument("--hot-fraction", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-prefix",
+                   help="write each unit to PREFIX<i>.tve")
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("update", help="apply a random update batch")
+    p.add_argument("database")
+    p.add_argument("output")
+    p.add_argument("--fraction", type=float, default=0.2,
+                   help="fraction of graphs to update")
+    p.add_argument("--ops", type=int, default=1, help="updates per graph")
+    p.add_argument("--kind", choices=list(UPDATE_KINDS), default="mixed")
+    p.add_argument("--labels", type=int, default=20,
+                   help="label domain size for new labels")
+    p.add_argument("--hot-fraction", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser("show", help="export as Graphviz DOT")
+    p.add_argument("input", help=".tve database or pattern file")
+    p.add_argument("--patterns", action="store_true",
+                   help="input is a pattern file")
+    p.add_argument("--gid", type=int, default=None,
+                   help="graph id to show (databases)")
+    p.add_argument("--top", type=int, default=20,
+                   help="max patterns to include")
+    p.set_defaults(func=cmd_show)
+
+    p = sub.add_parser("match", help="locate stored patterns in a database")
+    p.add_argument("patterns", help="pattern file (from `mine --output`)")
+    p.add_argument("database", help=".tve database to search")
+    p.add_argument("--induced", action="store_true",
+                   help="use induced-subgraph semantics")
+    p.add_argument("--min-support", type=_support, default=None)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--output", help="save relocated patterns here")
+    p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser("stats", help="database statistics")
+    p.add_argument("database")
+    p.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is the Unix way.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's contribution: merge-join, PartMiner, IncPartMiner."""
+
+from .incremental import (
+    IncrementalPartMiner,
+    IncrementalResult,
+    IncrementalStats,
+)
+from .join import SupportCounter, join_patterns, pattern_edge_triples
+from .mergejoin import MergeJoinStats, merge_join
+from .partminer import (
+    PartMiner,
+    PartMinerResult,
+    resolve_unit_threshold,
+)
+
+__all__ = [
+    "IncrementalPartMiner",
+    "IncrementalResult",
+    "IncrementalStats",
+    "MergeJoinStats",
+    "PartMiner",
+    "PartMinerResult",
+    "SupportCounter",
+    "join_patterns",
+    "merge_join",
+    "pattern_edge_triples",
+    "resolve_unit_threshold",
+]

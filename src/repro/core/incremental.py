@@ -1,0 +1,510 @@
+"""IncPartMiner: incremental mining under database updates (paper, Fig 12).
+
+After an initial PartMiner run, an update batch is handled as follows:
+
+1. apply the updates to the stored database and re-partition **only the
+   updated graphs** through the existing partition tree;
+2. determine the *affected units* — leaves whose piece of any updated graph
+   changed (the paper's ``setword``) — and re-mine only those with the
+   memory-based miner;
+3. build the **prune set** ``P``: frequent 1-edge patterns lost from the
+   database, plus patterns that disappeared from an affected unit's result
+   and survive in no other unit (Fig 12 lines 1-9);
+4. prune the old ``P(D)`` of every supergraph of a prune-set pattern —
+   those are the *FI* (frequent -> infrequent) suspects — leaving
+   ``P(D)'`` whose members are treated as still-frequent without
+   re-verification (Fig 12 line 10);
+5. re-run the merge-join bottom-up, reusing cached node results for
+   subtrees without affected units and passing ``P(D)'`` (and the cached
+   per-node results) as *known* patterns so unchanged candidates skip
+   support counting (``IncMergeJoin``);
+6. classify every pattern into **UF** (unchanged), **FI** (frequent ->
+   infrequent) and **IF** (infrequent -> frequent).
+
+``recheck_known=True`` disables step 5's trust in old supports (every
+pattern is re-verified), turning IncPartMiner into an exact — but slower —
+incremental miner; the test suite uses it to bound the approximation error
+of the paper's heuristic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..graph.database import GraphDatabase
+from ..graph.isomorphism import subgraph_exists
+from ..mining.base import Pattern, PatternKey, PatternSet
+from ..mining.edges import frequent_edges
+from ..mining.gaston import GastonMiner
+from ..partition.dbpartition import Partitioner
+from ..partition.units import PartitionNode, UfreqMap
+from ..updates.model import Update, apply_updates
+from .mergejoin import MergeJoinStats, merge_join
+from .partminer import (
+    MinerFactory,
+    PartMiner,
+    PartMinerResult,
+    UnitSupport,
+    resolve_unit_threshold,
+)
+from .join import pattern_edge_triples
+
+
+@dataclass
+class IncrementalStats:
+    """Work counters of one incremental step."""
+
+    updated_graphs: int = 0
+    affected_units: int = 0
+    changed_piece_pairs: int = 0  # (unit, gid) pairs whose piece changed
+    units_remined: int = 0
+    prune_set_size: int = 0
+    known_reused: int = 0
+    repartition_time: float = 0.0
+    remine_time: float = 0.0
+    remine_times: list[float] = field(default_factory=list)
+    merge_time: float = 0.0
+    classify_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.repartition_time
+            + self.remine_time
+            + self.merge_time
+            + self.classify_time
+        )
+
+    @property
+    def parallel_time(self) -> float:
+        """Parallel-mode analogue: affected units re-mine concurrently."""
+        return (
+            self.repartition_time
+            + (max(self.remine_times) if self.remine_times else 0.0)
+            + self.merge_time
+            + self.classify_time
+        )
+
+
+@dataclass
+class IncrementalResult:
+    """Output of one update batch: the new result and the 3 pattern classes."""
+
+    patterns: PatternSet
+    unchanged: PatternSet  # UF
+    became_infrequent: PatternSet  # FI
+    became_frequent: PatternSet  # IF
+    stats: IncrementalStats
+
+
+def _piece_signature(unit: PartitionNode, gid: int) -> frozenset:
+    """Structural fingerprint of a unit's piece of one graph, in root ids."""
+    piece = unit.database[gid]
+    orig = unit.orig_vertices[gid]
+    edges = frozenset(
+        (min(orig[u], orig[v]), max(orig[u], orig[v]), label)
+        for u, v, label in piece.edges()
+    )
+    vertices = frozenset(
+        (orig[v], piece.vertex_label(v)) for v in piece.vertices()
+    )
+    return frozenset([("e", edges), ("v", vertices)])
+
+
+class IncrementalPartMiner:
+    """PartMiner with incremental update handling (paper Fig 12).
+
+    Construct, call :meth:`initial_mine` once, then :meth:`apply_updates`
+    for every batch.  The miner owns a private copy of the database.
+    """
+
+    def __init__(
+        self,
+        k: int = 2,
+        partitioner: Partitioner | None = None,
+        miner_factory: MinerFactory = GastonMiner,
+        unit_support: UnitSupport = "paper",
+        strict_paper_joins: bool = False,
+        max_size: int | None = None,
+        recheck_known: bool = False,
+        unit_remine: str = "full",
+    ) -> None:
+        if unit_remine not in ("full", "selective"):
+            raise ValueError(
+                f"unit_remine must be 'full' or 'selective': {unit_remine!r}"
+            )
+        self.k = k
+        self.partitioner = partitioner
+        self.miner_factory = miner_factory
+        self.unit_support = unit_support
+        self.strict_paper_joins = strict_paper_joins
+        self.max_size = max_size
+        self.recheck_known = recheck_known
+        self.unit_remine = unit_remine
+        self._database: GraphDatabase | None = None
+        self._ufreq: UfreqMap | None = None
+        self._result: PartMinerResult | None = None
+        self._threshold: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> GraphDatabase:
+        if self._database is None:
+            raise RuntimeError("call initial_mine() first")
+        return self._database
+
+    @property
+    def current_patterns(self) -> PatternSet:
+        if self._result is None:
+            raise RuntimeError("call initial_mine() first")
+        return self._result.patterns
+
+    @property
+    def ufreq(self) -> UfreqMap:
+        """The maintained update-frequency map (padded for added vertices)."""
+        if self._ufreq is None:
+            raise RuntimeError("call initial_mine() first")
+        return self._ufreq
+
+    # ------------------------------------------------------------------
+    def initial_mine(
+        self,
+        database: GraphDatabase,
+        min_support: float | int,
+        ufreq: UfreqMap | None = None,
+    ) -> PartMinerResult:
+        """Run PartMiner once and keep the state updates will build on."""
+        self._database = database.copy(deep=True)
+        if ufreq is None:
+            ufreq = {
+                gid: (0.0,) * graph.num_vertices
+                for gid, graph in self._database
+            }
+        self._ufreq = dict(ufreq)
+        self._threshold = self._database.absolute_support(min_support)
+        miner = PartMiner(
+            k=self.k,
+            partitioner=self.partitioner,
+            miner_factory=self.miner_factory,
+            unit_support=self.unit_support,
+            strict_paper_joins=self.strict_paper_joins,
+            max_size=self.max_size,
+        )
+        self._result = miner.mine(
+            self._database, self._threshold, ufreq=self._ufreq
+        )
+        return self._result
+
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: list[Update]) -> IncrementalResult:
+        """Process one update batch incrementally."""
+        if self._result is None or self._database is None:
+            raise RuntimeError("call initial_mine() first")
+        old = self._result
+        tree = old.tree
+        threshold = self._threshold
+        stats = IncrementalStats()
+
+        # --- step 1: apply updates, re-partition updated graphs ---------
+        t0 = time.perf_counter()
+        touched = apply_updates(self._database, updates)
+        stats.updated_graphs = len(touched)
+        units = tree.units()
+        before = {
+            (i, gid): _piece_signature(unit, gid)
+            for i, unit in enumerate(units)
+            for gid in touched
+        }
+        for gid in touched:
+            self._pad_ufreq(gid)
+            self._repartition_graph(tree.root, gid)
+        changed_by_unit: dict[int, set[int]] = {}
+        for (i, gid), signature in before.items():
+            if _piece_signature(units[i], gid) != signature:
+                changed_by_unit.setdefault(i, set()).add(gid)
+        affected = set(changed_by_unit)
+        stats.affected_units = len(affected)
+        stats.changed_piece_pairs = sum(
+            len(gids) for gids in changed_by_unit.values()
+        )
+        stats.repartition_time = time.perf_counter() - t0
+
+        # --- step 2: re-mine affected units ------------------------------
+        new_unit_results = list(old.unit_results)
+        for i in sorted(affected):
+            unit = units[i]
+            unit_threshold = resolve_unit_threshold(
+                unit, threshold, self.unit_support, k=self.k
+            )
+            t0 = time.perf_counter()
+            if self.unit_remine == "selective":
+                from ..mining.incremental_unit import selective_unit_remine
+
+                new_unit_results[i] = selective_unit_remine(
+                    unit.database,
+                    old.unit_results[i],
+                    changed_by_unit[i],
+                    unit_threshold,
+                    max_size=self.max_size,
+                )
+            else:
+                miner = self.miner_factory()
+                if self.max_size is not None and hasattr(miner, "max_size"):
+                    miner.max_size = self.max_size
+                new_unit_results[i] = miner.mine(
+                    unit.database, unit_threshold
+                )
+            elapsed = time.perf_counter() - t0
+            stats.remine_times.append(elapsed)
+            stats.remine_time += elapsed
+            stats.units_remined += 1
+
+        # --- step 3: the prune set P (Fig 12 lines 1-9) ------------------
+        t0 = time.perf_counter()
+        prune = self._prepare_prune_set(
+            self._build_prune_set(old, new_unit_results, affected)
+        )
+        stats.prune_set_size = len(prune)
+
+        # --- step 4: prune old P(D) -> P(D)'; FI suspects ----------------
+        known = PatternSet()
+        for pattern in old.patterns:
+            if not self._hits_prune_set(pattern, prune):
+                known.add(pattern)
+        stats.classify_time += time.perf_counter() - t0
+
+        # --- step 5: incremental merge-join -------------------------------
+        # Fig 12 line 6: recombination is needed only when an affected unit
+        # *gained* patterns (losses are handled by the prune set alone).
+        recombine = any(
+            new_unit_results[i].keys() - old.unit_results[i].keys()
+            for i in affected
+        )
+        node_results: dict[tuple[int, int], PatternSet] = {}
+        for i, unit in enumerate(units):
+            node_results[(unit.depth, unit.index)] = new_unit_results[i]
+
+        t0 = time.perf_counter()
+        if recombine or (affected and self.recheck_known):
+            affected_keys = {
+                (units[i].depth, units[i].index) for i in affected
+            }
+            # Per-node vouching: each internal node trusts its *own*
+            # cached pre-update result (correct level-scale TID lists),
+            # minus the prune-set suspects.  The root's cached result is
+            # the paper's pruned P(D).
+            prune_hit: dict = {}
+
+            def node_known(key: tuple[int, int]) -> PatternSet | None:
+                if self.recheck_known:
+                    return None
+                cached = old.node_results.get(key)
+                if cached is None:
+                    return None
+                vouched = PatternSet()
+                for pattern in cached:
+                    hit = prune_hit.get(pattern.key)
+                    if hit is None:
+                        hit = self._hits_prune_set(pattern, prune)
+                        prune_hit[pattern.key] = hit
+                    if not hit:
+                        vouched.add(pattern)
+                return vouched
+
+            new_patterns = self._combine_incremental(
+                tree.root,
+                threshold,
+                old,
+                node_results,
+                affected_keys,
+                node_known,
+                stats,
+            )
+        else:
+            new_patterns = known
+        stats.merge_time = time.perf_counter() - t0
+
+        # --- step 6: classification ---------------------------------------
+        t0 = time.perf_counter()
+        old_keys = old.patterns.keys()
+        new_keys = new_patterns.keys()
+        became_frequent = PatternSet(
+            p for p in new_patterns if p.key not in old_keys
+        )
+        unchanged = PatternSet(
+            p for p in new_patterns if p.key in old_keys
+        )
+        became_infrequent = PatternSet(
+            p for p in old.patterns if p.key not in new_keys
+        )
+        stats.classify_time += time.perf_counter() - t0
+
+        # Commit the new state.
+        self._result = PartMinerResult(
+            patterns=new_patterns,
+            tree=tree,
+            threshold=threshold,
+            unit_results=new_unit_results,
+            node_results=node_results,
+            unit_times=old.unit_times,
+            merge_times=old.merge_times,
+            merge_stats=old.merge_stats,
+            partition_time=old.partition_time,
+        )
+        return IncrementalResult(
+            patterns=new_patterns,
+            unchanged=unchanged,
+            became_infrequent=became_infrequent,
+            became_frequent=became_frequent,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _pad_ufreq(self, gid: int) -> None:
+        """Extend a graph's ufreq for vertices added by the batch."""
+        graph = self._database[gid]
+        current = self._ufreq.get(gid, ())
+        if len(current) < graph.num_vertices:
+            # Freshly added vertices were just updated: treat them as hot.
+            pad = (0.5,) * (graph.num_vertices - len(current))
+            self._ufreq[gid] = tuple(current) + pad
+
+    def _repartition_graph(self, node: PartitionNode, gid: int) -> None:
+        """Re-run the partition cascade for one (updated) graph."""
+        if node.depth == 0:
+            node.database.replace(gid, self._database[gid])
+            node.ufreq[gid] = self._ufreq[gid]
+            node.orig_vertices[gid] = tuple(
+                range(self._database[gid].num_vertices)
+            )
+        if node.children is None:
+            return
+        partitioner = self.partitioner
+        if partitioner is None:
+            from ..partition.graphpart import GraphPartitioner
+
+            partitioner = GraphPartitioner()
+        bipart = partitioner(node.database[gid], node.ufreq[gid])
+        parent_orig = node.orig_vertices[gid]
+        node.connective_edges[gid] = tuple(
+            (parent_orig[u], parent_orig[v])
+            for u, v in bipart.connective_edges
+        )
+        for side_index, side in enumerate((bipart.side0, bipart.side1)):
+            child = node.children[side_index]
+            child.database.replace(gid, side.graph)
+            child.ufreq[gid] = side.ufreq
+            child.orig_vertices[gid] = tuple(
+                parent_orig[old] for old in side.orig_vertices
+            )
+            self._repartition_graph(child, gid)
+
+    # ------------------------------------------------------------------
+    def _build_prune_set(
+        self,
+        old: PartMinerResult,
+        new_unit_results: list[PatternSet],
+        affected: set[int],
+    ) -> list[Pattern]:
+        """Patterns that may have turned infrequent (Fig 12 lines 1-9)."""
+        prune: dict[PatternKey, Pattern] = {}
+
+        # Lost frequent edges: P^1(D) \ P^1(D').
+        new_edge_keys = {
+            fe.to_pattern().key
+            for fe in frequent_edges(self._database, self._threshold)
+        }
+        for pattern in old.patterns:
+            if pattern.size == 1 and pattern.key not in new_edge_keys:
+                prune[pattern.key] = pattern
+
+        # Patterns dropped from an affected unit, absent everywhere else.
+        for i in affected:
+            dropped = (
+                old.unit_results[i].keys() - new_unit_results[i].keys()
+            )
+            for key in dropped:
+                if key in prune:
+                    continue
+                survives_elsewhere = any(
+                    key in new_unit_results[j]
+                    for j in range(len(new_unit_results))
+                    if j != i
+                )
+                if not survives_elsewhere:
+                    prune[key] = old.unit_results[i].get(key)
+        return list(prune.values())
+
+    @staticmethod
+    def _prepare_prune_set(prune: list[Pattern]) -> list[tuple[Pattern, set]]:
+        """Pair every prune pattern with its edge triples (computed once)."""
+        return [
+            (candidate, pattern_edge_triples(candidate.graph))
+            for candidate in prune
+        ]
+
+    @staticmethod
+    def _hits_prune_set(
+        pattern: Pattern, prune: list[tuple[Pattern, set]]
+    ) -> bool:
+        """True if any prune-set pattern is a subgraph of ``pattern``."""
+        triples = pattern_edge_triples(pattern.graph)
+        for candidate, candidate_triples in prune:
+            if candidate.size > pattern.size:
+                continue
+            if not candidate_triples <= triples:
+                continue
+            if subgraph_exists(candidate.graph, pattern.graph):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _combine_incremental(
+        self,
+        node: PartitionNode,
+        threshold: int,
+        old: PartMinerResult,
+        node_results: dict[tuple[int, int], PatternSet],
+        affected_keys: set[tuple[int, int]],
+        node_known,
+        stats: IncrementalStats,
+    ) -> PatternSet:
+        key = (node.depth, node.index)
+        if node.is_leaf:
+            return node_results[key]
+        if not self._subtree_affected(node, affected_keys):
+            # No affected unit below: the cached result is still valid.
+            node_results[key] = old.node_results[key]
+            return old.node_results[key]
+        left = self._combine_incremental(
+            node.children[0], threshold, old, node_results,
+            affected_keys, node_known, stats,
+        )
+        right = self._combine_incremental(
+            node.children[1], threshold, old, node_results,
+            affected_keys, node_known, stats,
+        )
+        merge_stats = MergeJoinStats()
+        merged = merge_join(
+            node.database,
+            left,
+            right,
+            node.support_threshold(threshold),
+            strict_paper_joins=self.strict_paper_joins,
+            max_size=self.max_size,
+            stats=merge_stats,
+            known=node_known(key),
+        )
+        stats.known_reused += merge_stats.known_reused
+        node_results[key] = merged
+        return merged
+
+    @staticmethod
+    def _subtree_affected(
+        node: PartitionNode, affected_keys: set[tuple[int, int]]
+    ) -> bool:
+        return any(
+            (leaf.depth, leaf.index) in affected_keys
+            for leaf in node.leaves()
+        )

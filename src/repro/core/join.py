@@ -1,0 +1,233 @@
+"""Pattern-level join for the merge-join operation (paper, Section 4.3).
+
+Two ``k``-edge patterns *join* when they share a ``(k-1)``-edge connected
+core; every way of overlaying them on a shared core yields a ``(k+1)``-edge
+candidate.  This is the FSG-style join the paper's ``Join(P, F)`` steps
+perform, seeded at the bottom by joining 2-edge patterns over a shared
+(connective) edge.
+
+Support counting of candidates happens against the level dataset through
+:class:`SupportCounter`, which prunes with a per-level edge-triple index and
+seeds with TID lists inherited from the children.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.canonical import canonical_code
+from ..graph.database import GraphDatabase
+from ..graph.isomorphism import subgraph_exists
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.operations import (
+    DeletionCore,
+    edge_deletion_cores,
+    overlay_candidates,
+)
+from ..mining.base import Pattern, PatternKey
+from ..mining.edges import EdgeTriple, normalize_triple
+
+
+def pattern_edge_triples(graph: LabeledGraph) -> set[EdgeTriple]:
+    """The normalized label triples of a pattern's edges."""
+    return {
+        normalize_triple(graph.vertex_label(u), elabel, graph.vertex_label(v))
+        for u, v, elabel in graph.edges()
+    }
+
+
+class SupportCounter:
+    """Support counting against one level dataset with cheap pruning.
+
+    Builds an edge-triple -> gid index once; a pattern's support is then
+    counted only over graphs containing all of its edge triples, seeded by
+    TID lists already known from child levels (a piece's supporting graph
+    also supports the pattern at the parent level).
+    """
+
+    def __init__(self, database: GraphDatabase) -> None:
+        self.database = database
+        self._triple_index: dict[EdgeTriple, set[int]] = {}
+        for gid, graph in database:
+            for u, v, elabel in graph.edges():
+                triple = normalize_triple(
+                    graph.vertex_label(u), elabel, graph.vertex_label(v)
+                )
+                self._triple_index.setdefault(triple, set()).add(gid)
+        self.isomorphism_tests = 0
+
+    def candidate_gids(self, pattern: LabeledGraph) -> set[int]:
+        """Gids of graphs containing every edge triple of ``pattern``."""
+        candidates: set[int] | None = None
+        for triple in pattern_edge_triples(pattern):
+            gids = self._triple_index.get(triple)
+            if not gids:
+                return set()
+            candidates = set(gids) if candidates is None else candidates & gids
+            if not candidates:
+                return set()
+        return candidates if candidates is not None else set()
+
+    def count(
+        self,
+        pattern: LabeledGraph,
+        known_tids: frozenset[int] = frozenset(),
+        restrict: frozenset[int] | None = None,
+    ) -> tuple[int, frozenset[int]]:
+        """Support of ``pattern`` in the level dataset.
+
+        ``known_tids`` must be gids already known to contain the pattern
+        (e.g. from child-level TID lists); they are not re-tested.
+        ``restrict`` is a sound upper bound on the supporting set (e.g. the
+        intersection of the level supports of a join candidate's two
+        generators) — graphs outside it are skipped entirely.
+        """
+        supporting = set(known_tids)
+        untested = self.candidate_gids(pattern) - supporting
+        if restrict is not None:
+            untested &= restrict
+        for gid in untested:
+            self.isomorphism_tests += 1
+            if subgraph_exists(pattern, self.database[gid]):
+                supporting.add(gid)
+        return len(supporting), frozenset(supporting)
+
+
+# Deletion cores are pure functions of a pattern's canonical key; the same
+# patterns are join inputs over and over (across levels, nodes and update
+# batches), so the cores — and the exact graph instance they index into —
+# are memoized globally.
+_CORE_CACHE: dict[
+    PatternKey, tuple[LabeledGraph, list[DeletionCore]]
+] = {}
+_CORE_CACHE_LIMIT = 100_000
+
+
+def cached_deletion_cores(
+    pattern: Pattern,
+) -> tuple[LabeledGraph, list[DeletionCore]]:
+    """Memoized ``(graph, edge_deletion_cores(graph))`` for a pattern.
+
+    The returned graph is the instance the cores' vertex ids refer to —
+    overlays must use it (it may be an isomorphic earlier copy, which is
+    fine: everything downstream is canonicalized).
+    """
+    entry = _CORE_CACHE.get(pattern.key)
+    if entry is None:
+        if len(_CORE_CACHE) >= _CORE_CACHE_LIMIT:
+            _CORE_CACHE.clear()
+        entry = (pattern.graph, edge_deletion_cores(pattern.graph))
+        _CORE_CACHE[pattern.key] = entry
+    return entry
+
+
+def join_patterns(
+    left: Iterable[Pattern],
+    right: Iterable[Pattern],
+    seen: set[PatternKey] | None = None,
+) -> dict[PatternKey, tuple[LabeledGraph, frozenset[int]]]:
+    """All ``(k+1)``-edge join candidates of two ``k``-edge pattern sets.
+
+    Joins every cross pair (both directions, including self pairs when the
+    same pattern appears on both sides) over every shared connected
+    ``(k-1)``-edge core.  Candidates whose canonical key is in ``seen`` are
+    skipped; the returned mapping is deduplicated by canonical key.
+
+    Each candidate carries a **TID bound**: the intersection of one
+    generating pair's TID lists.  When the inputs carry level-exact TIDs,
+    a candidate's level support is a subset of *every* generating pair's
+    intersection (a supergraph is supported only where both generators
+    are), so any one bound is sound for restricted support counting.
+    """
+    seen = seen if seen is not None else set()
+    left_list = list(left)
+    right_list = list(right)
+    if not left_list or not right_list:
+        return {}
+
+    # Index deletion cores by canonical core key so only core-compatible
+    # pairs are ever touched (FSG's join organization).
+    def core_index(patterns: list[Pattern]):
+        graphs: list[LabeledGraph] = []
+        index: dict[tuple, list[tuple[int, DeletionCore]]] = {}
+        for i, pattern in enumerate(patterns):
+            graph, cores = cached_deletion_cores(pattern)
+            graphs.append(graph)
+            for core in cores:
+                index.setdefault(core.core_key, []).append((i, core))
+        return graphs, index
+
+    left_graphs, left_index = core_index(left_list)
+    right_graphs, right_index = core_index(right_list)
+
+    candidates: dict[PatternKey, tuple[LabeledGraph, frozenset[int]]] = {}
+    pair_bounds: dict[tuple[int, int], frozenset[int]] = {}
+    # One edge-addition signature set per host instance: symmetric cores
+    # and multiple compatible pairs regenerate identical candidates, and
+    # the signature kills them before any canonicalization.
+    left_signatures: dict[int, set] = {}
+    right_signatures: dict[int, set] = {}
+
+    def record(candidate: LabeledGraph, bound: frozenset[int]) -> None:
+        key = canonical_code(candidate)
+        if key in seen or key in candidates:
+            return
+        candidates[key] = (candidate, bound)
+
+    for core_key in left_index.keys() & right_index.keys():
+        for i, left_core in left_index[core_key]:
+            for j, right_core in right_index[core_key]:
+                bound = pair_bounds.get((i, j))
+                if bound is None:
+                    bound = left_list[i].tids & right_list[j].tids
+                    pair_bounds[(i, j)] = bound
+                if not bound:
+                    continue  # both generators never co-occur
+                for candidate in overlay_candidates(
+                    left_core,
+                    right_core,
+                    right_graphs[j],
+                    right_signatures.setdefault(j, set()),
+                ):
+                    record(candidate, bound)
+                for candidate in overlay_candidates(
+                    right_core,
+                    left_core,
+                    left_graphs[i],
+                    left_signatures.setdefault(i, set()),
+                ):
+                    record(candidate, bound)
+    return candidates
+
+
+def join_single_edges(
+    left: Iterable[Pattern],
+    right: Iterable[Pattern],
+    seen: set[PatternKey] | None = None,
+) -> dict[PatternKey, LabeledGraph]:
+    """Join 1-edge patterns sharing a vertex label into 2-edge candidates.
+
+    Not used by the paper's MergeJoin (2-edge sets are unioned directly,
+    which is complete because both sides keep the connective edges), but
+    exposed for experimentation and for the ablation benchmarks.
+    """
+    seen = seen if seen is not None else set()
+    candidates: dict[PatternKey, LabeledGraph] = {}
+    for p in left:
+        (pu, pv, pe), = list(p.graph.edges())
+        for q in right:
+            (qu, qv, qe), = list(q.graph.edges())
+            for a in (pu, pv):
+                for b in (qu, qv):
+                    if p.graph.vertex_label(a) != q.graph.vertex_label(b):
+                        continue
+                    candidate = p.graph.copy()
+                    other = qv if b == qu else qu
+                    new_vertex = candidate.add_vertex(
+                        q.graph.vertex_label(other)
+                    )
+                    candidate.add_edge(a, new_vertex, qe)
+                    key = canonical_code(candidate)
+                    if key not in seen and key not in candidates:
+                        candidates[key] = candidate
+    return candidates

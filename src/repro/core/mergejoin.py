@@ -1,0 +1,211 @@
+"""MergeJoin: recovering a level's frequent patterns from its two children.
+
+Implements the ``MergeJoin`` procedure of the paper's Fig 11:
+
+1. ``P^1(S)`` comes from a direct frequent-edge scan of the level dataset;
+2. patterns carried from the children are pruned with the Apriori property
+   against ``P^1(S)`` (Fig 11 lines 2-3);
+3. 2-edge patterns are unioned (complete, because connective edges live in
+   both sides) and joined into the first candidate set ``C^3``;
+4. level-wise, candidates come from ``Join(P^k(S0), F^k)``,
+   ``Join(P^k(S1), F^k)`` and ``Join(F^k, F^k)`` — plus, unless
+   ``strict_paper_joins`` is set, the fourth combination
+   ``Join(P^k(S0), P^k(S1))`` which the paper's pseudo-code omits but which
+   is needed for spanning patterns whose one-sided generators sit on
+   opposite sides (see DESIGN.md);
+5. every candidate's support is verified against the level dataset
+   (``CheckFrequency``), so the result never contains false positives.
+
+The function returns every pattern whose support in the level dataset meets
+the level threshold, with exact level TID lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.database import GraphDatabase
+from ..mining.base import Pattern, PatternKey, PatternSet
+from ..mining.edges import frequent_edges
+from .join import SupportCounter, join_patterns, pattern_edge_triples
+
+
+@dataclass
+class MergeJoinStats:
+    """Work counters of one merge-join invocation."""
+
+    carried_patterns: int = 0
+    carried_pruned: int = 0
+    candidates_generated: int = 0
+    candidates_frequent: int = 0
+    isomorphism_tests: int = 0
+    rounds: int = 0
+    known_reused: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+def merge_join(
+    dataset: GraphDatabase,
+    left: PatternSet,
+    right: PatternSet,
+    threshold: int,
+    strict_paper_joins: bool = False,
+    max_size: int | None = None,
+    stats: MergeJoinStats | None = None,
+    known: PatternSet | None = None,
+) -> PatternSet:
+    """Combine the frequent patterns of two sibling partitions.
+
+    Parameters
+    ----------
+    dataset:
+        The level dataset ``S`` (the parent node's graphs).
+    left, right:
+        ``P(S0)`` and ``P(S1)`` — frequent patterns of the two children,
+        with child-level TID lists.
+    threshold:
+        Absolute support threshold at this level.
+    strict_paper_joins:
+        Restrict candidate generation to exactly the paper's three join
+        combinations (loses some spanning patterns; see DESIGN.md).
+    max_size:
+        Optional bound on pattern size.
+    known:
+        Patterns already known to be frequent at this level from a previous
+        run whose frequency is unaffected by the current update batch
+        (IncPartMiner's pruned ``P(D)'``, paper Fig 12).  Carried patterns
+        and candidates whose canonical key appears here are accepted
+        without re-counting their support — this is ``IncMergeJoin``'s
+        "eliminate the generation of unchanged candidate graphs" saving.
+
+    Returns
+    -------
+    PatternSet
+        ``P(S)`` — patterns frequent in ``S`` at ``threshold`` with exact
+        TID lists against ``S``.
+    """
+    stats = stats if stats is not None else MergeJoinStats()
+    counter = SupportCounter(dataset)
+    result = PatternSet()
+
+    # Line 1: frequent 1-edge patterns come from a direct scan of S.
+    allowed_triples = set()
+    for fedge in frequent_edges(dataset, threshold):
+        allowed_triples.add(fedge.triple)
+        result.add(fedge.to_pattern())
+
+    # Lines 2-3: Apriori pruning of carried patterns against P^1(S).
+    carried: dict[PatternKey, Pattern] = {}
+    sides: dict[PatternKey, set[int]] = {}
+    for side_index, source in enumerate((left, right)):
+        for pattern in source:
+            if pattern.size < 2:
+                continue  # 1-edge level handled by the direct scan
+            stats.carried_patterns += 1
+            if not pattern_edge_triples(pattern.graph) <= allowed_triples:
+                stats.carried_pruned += 1
+                continue
+            existing = carried.get(pattern.key)
+            if existing is None:
+                carried[pattern.key] = pattern
+            else:
+                carried[pattern.key] = Pattern(
+                    graph=existing.graph,
+                    key=existing.key,
+                    support=len(existing.tids | pattern.tids),
+                    tids=existing.tids | pattern.tids,
+                )
+            sides.setdefault(pattern.key, set()).add(side_index)
+
+    # Exact level support for every carried pattern, seeded by child TIDs.
+    # Patterns vouched for by `known` skip the count entirely.
+    evaluated: dict[PatternKey, Pattern] = {}
+    for key, pattern in carried.items():
+        vouched = known.get(key) if known is not None else None
+        if vouched is not None:
+            stats.known_reused += 1
+            evaluated[key] = Pattern(
+                graph=pattern.graph,
+                key=key,
+                support=vouched.support,
+                tids=vouched.tids,
+            )
+        else:
+            support, tids = counter.count(pattern.graph, pattern.tids)
+            evaluated[key] = Pattern(
+                graph=pattern.graph, key=key, support=support, tids=tids
+            )
+        if evaluated[key].support >= threshold:
+            result.add(evaluated[key])
+
+    def side_patterns(side_index: int, size: int) -> list[Pattern]:
+        return [
+            evaluated[key]
+            for key, pattern in carried.items()
+            if pattern.size == size and side_index in sides[key]
+        ]
+
+    # Level-wise join loop (Fig 11 lines 4-14).  F holds the spanning
+    # patterns discovered at this level, by size.
+    new_frequent: dict[int, list[Pattern]] = {}
+    max_carried = max((p.size for p in carried.values()), default=1)
+    size = 2
+    while True:
+        if max_size is not None and size + 1 > max_size:
+            break
+        if size > max_carried and size not in new_frequent:
+            break
+        left_k = side_patterns(0, size)
+        right_k = side_patterns(1, size)
+        f_k = new_frequent.get(size, [])
+
+        join_inputs = [(left_k, f_k), (right_k, f_k), (f_k, f_k)]
+        if size == 2 or not strict_paper_joins:
+            # C^3 = Join(P^2(S0), P^2(S1)) seeds the loop; the same
+            # combination at higher sizes is the completeness fix.
+            join_inputs.append((left_k, right_k))
+
+        seen = set(evaluated)
+        candidates: dict[PatternKey, tuple] = {}
+        for a, b in join_inputs:
+            for key, (graph, bound) in join_patterns(a, b, seen).items():
+                # First-found bound kept: every generating pair's TID
+                # intersection is a sound support bound on its own.
+                candidates.setdefault(key, (graph, bound))
+
+        stats.rounds += 1
+        stats.candidates_generated += len(candidates)
+        for key, (graph, bound) in candidates.items():
+            vouched = known.get(key) if known is not None else None
+            if vouched is not None:
+                stats.known_reused += 1
+                pattern = Pattern(
+                    graph=graph,
+                    key=key,
+                    support=vouched.support,
+                    tids=vouched.tids,
+                )
+                evaluated[key] = pattern
+                if pattern.support >= threshold:
+                    stats.candidates_frequent += 1
+                    new_frequent.setdefault(size + 1, []).append(pattern)
+                    result.add(pattern)
+                continue
+            if len(bound) < threshold:
+                # The TID bound already caps the support below threshold.
+                evaluated[key] = Pattern(graph, key, 0, frozenset())
+                continue
+            if not pattern_edge_triples(graph) <= allowed_triples:
+                evaluated[key] = Pattern(graph, key, 0, frozenset())
+                continue
+            support, tids = counter.count(graph, restrict=bound)
+            pattern = Pattern(graph=graph, key=key, support=support, tids=tids)
+            evaluated[key] = pattern
+            if support >= threshold:
+                stats.candidates_frequent += 1
+                new_frequent.setdefault(size + 1, []).append(pattern)
+                result.add(pattern)
+        size += 1
+
+    stats.isomorphism_tests += counter.isomorphism_tests
+    return result

@@ -1,0 +1,12 @@
+"""Synthetic workload generation (paper Table 1 parameters D/N/T/I/L)."""
+
+from .kernels import generate_kernels, random_connected_graph
+from .synthetic import DatasetSpec, SyntheticGenerator, generate_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticGenerator",
+    "generate_dataset",
+    "generate_kernels",
+    "random_connected_graph",
+]

@@ -1,0 +1,72 @@
+"""Potentially-frequent kernel generation for the synthetic data generator.
+
+The generator of [15] (after Kuramochi & Karypis) plants ``L`` *potentially
+frequent kernels* — small connected graphs with an average of ``I`` edges —
+into the database graphs, so the mined frequent patterns are the kernels
+and their subgraphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.labeled_graph import LabeledGraph
+
+
+def random_connected_graph(
+    num_edges: int,
+    num_labels: int,
+    rng: random.Random,
+    cycle_probability: float = 0.25,
+) -> LabeledGraph:
+    """A random connected graph with exactly ``num_edges`` edges.
+
+    Built as a random tree plus, with ``cycle_probability`` per edge,
+    cycle-closing edges.  Labels (vertex and edge) are uniform over
+    ``0..num_labels-1``.
+    """
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1: {num_edges}")
+    graph = LabeledGraph()
+    graph.add_vertex(rng.randrange(num_labels))
+    edges_left = num_edges
+    while edges_left > 0:
+        close_cycle = (
+            rng.random() < cycle_probability and graph.num_vertices >= 3
+        )
+        if close_cycle:
+            u = rng.randrange(graph.num_vertices)
+            candidates = [
+                w
+                for w in range(graph.num_vertices)
+                if w != u and not graph.has_edge(u, w)
+            ]
+            if candidates:
+                graph.add_edge(
+                    u, rng.choice(candidates), rng.randrange(num_labels)
+                )
+                edges_left -= 1
+                continue
+        attach = rng.randrange(graph.num_vertices)
+        new_vertex = graph.add_vertex(rng.randrange(num_labels))
+        graph.add_edge(attach, new_vertex, rng.randrange(num_labels))
+        edges_left -= 1
+    return graph
+
+
+def generate_kernels(
+    count: int,
+    avg_edges: float,
+    num_labels: int,
+    rng: random.Random,
+) -> list[LabeledGraph]:
+    """``count`` random connected kernels averaging ``avg_edges`` edges.
+
+    Sizes follow a geometric-ish spread around the average, clipped to
+    ``[1, 2 * avg_edges]`` so that pathological kernels cannot dominate.
+    """
+    kernels = []
+    for _ in range(count):
+        size = max(1, min(round(rng.gauss(avg_edges, 1.0)), round(2 * avg_edges)))
+        kernels.append(random_connected_graph(size, num_labels, rng))
+    return kernels

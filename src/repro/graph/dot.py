@@ -1,0 +1,91 @@
+"""Graphviz DOT export for graphs and pattern sets.
+
+Text-only (no rendering dependency): produces ``.dot`` sources that any
+Graphviz install turns into figures.  Used by the CLI's ``show`` command
+and handy for debugging partitions (cut edges are highlighted).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from .labeled_graph import LabeledGraph
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def graph_to_dot(
+    graph: LabeledGraph,
+    name: str = "G",
+    highlight_edges: Iterable[tuple[int, int]] = (),
+) -> str:
+    """Render one labeled graph as an undirected DOT source.
+
+    ``highlight_edges`` (e.g. a partition's connective edges) are drawn
+    bold and red.
+    """
+    hot = {
+        (min(u, v), max(u, v)) for u, v in highlight_edges
+    }
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    for v in graph.vertices():
+        lines.append(
+            f"  {v} [label={_quote(graph.vertex_label(v))}];"
+        )
+    for u, v, label in graph.edges():
+        style = (
+            ' color="red" penwidth=2.0'
+            if (min(u, v), max(u, v)) in hot
+            else ""
+        )
+        lines.append(
+            f"  {u} -- {v} [label={_quote(label)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def patterns_to_dot(
+    patterns,
+    name: str = "patterns",
+    max_patterns: int | None = None,
+) -> str:
+    """Render a pattern set as one DOT source with a cluster per pattern.
+
+    Patterns are ordered by size (descending), then support (descending).
+    """
+    ordered = sorted(patterns, key=lambda p: (-p.size, -p.support))
+    if max_patterns is not None:
+        ordered = ordered[:max_patterns]
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    offset = 0
+    for index, pattern in enumerate(ordered):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(
+            f"    label={_quote(f'support={pattern.support}')};"
+        )
+        graph = pattern.graph
+        for v in graph.vertices():
+            lines.append(
+                f"    n{offset + v} "
+                f"[label={_quote(graph.vertex_label(v))}];"
+            )
+        for u, v, label in graph.edges():
+            lines.append(
+                f"    n{offset + u} -- n{offset + v} "
+                f"[label={_quote(label)}];"
+            )
+        lines.append("  }")
+        offset += graph.num_vertices
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(text: str, out: IO[str]) -> None:
+    """Write DOT source to a stream, ensuring a trailing newline."""
+    out.write(text)
+    if not text.endswith("\n"):
+        out.write("\n")

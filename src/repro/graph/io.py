@@ -1,0 +1,115 @@
+"""Text serialization of graphs and graph databases.
+
+Uses the line-based format shared by gSpan/Gaston/FSG tooling::
+
+    t # <gid>
+    v <vertex-id> <label>
+    e <u> <v> <label>
+
+Labels round-trip as ints when they look like ints, as strings otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from .database import GraphDatabase
+from .labeled_graph import Label, LabeledGraph
+
+
+def _parse_label(token: str) -> Label:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _check_label(label: Label) -> Label:
+    """The line-based format cannot carry labels with whitespace."""
+    if isinstance(label, str) and (not label or any(c.isspace() for c in label)):
+        raise ValueError(
+            f"label {label!r} cannot be written in t/v/e format "
+            "(empty or contains whitespace); use repro.mining.store "
+            "for arbitrary labels"
+        )
+    return label
+
+
+def write_graph(graph: LabeledGraph, gid: int, out: IO[str]) -> None:
+    """Write one graph in ``t/v/e`` format to a text stream.
+
+    Raises :class:`ValueError` for labels the format cannot represent
+    (empty strings or strings containing whitespace).
+    """
+    out.write(f"t # {gid}\n")
+    for v in graph.vertices():
+        out.write(f"v {v} {_check_label(graph.vertex_label(v))}\n")
+    for u, v, label in graph.edges():
+        out.write(f"e {u} {v} {_check_label(label)}\n")
+
+
+def write_database(database: GraphDatabase, path: str | Path) -> None:
+    """Write a whole database to ``path`` in ``t/v/e`` format."""
+    with open(path, "w", encoding="utf-8") as out:
+        for gid, graph in database:
+            write_graph(graph, gid, out)
+
+
+def dumps(database: GraphDatabase) -> str:
+    """Serialize a database to a ``t/v/e`` string."""
+    buffer = io.StringIO()
+    for gid, graph in database:
+        write_graph(graph, gid, buffer)
+    return buffer.getvalue()
+
+
+def iter_graphs(lines: Iterable[str]) -> Iterator[tuple[int, LabeledGraph]]:
+    """Parse ``t/v/e`` lines into ``(gid, graph)`` pairs.
+
+    Raises :class:`ValueError` on malformed records (edge before its vertices,
+    vertex ids out of order, unknown directives).
+    """
+    gid: int | None = None
+    graph: LabeledGraph | None = None
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if graph is not None and gid is not None:
+                yield gid, graph
+            gid = int(parts[-1])
+            graph = LabeledGraph()
+        elif kind == "v":
+            if graph is None:
+                raise ValueError(f"line {line_number}: vertex before 't' record")
+            vid = int(parts[1])
+            if vid != graph.num_vertices:
+                raise ValueError(
+                    f"line {line_number}: vertex id {vid} out of order "
+                    f"(expected {graph.num_vertices})"
+                )
+            graph.add_vertex(_parse_label(parts[2]))
+        elif kind == "e":
+            if graph is None:
+                raise ValueError(f"line {line_number}: edge before 't' record")
+            graph.add_edge(int(parts[1]), int(parts[2]), _parse_label(parts[3]))
+        else:
+            raise ValueError(f"line {line_number}: unknown directive {kind!r}")
+    if graph is not None and gid is not None:
+        yield gid, graph
+
+
+def read_database(path: str | Path) -> GraphDatabase:
+    """Read a database from a ``t/v/e`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return GraphDatabase(iter_graphs(handle))
+
+
+def loads(text: str) -> GraphDatabase:
+    """Parse a database from a ``t/v/e`` string."""
+    return GraphDatabase(iter_graphs(text.splitlines()))

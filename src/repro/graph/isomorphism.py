@@ -1,0 +1,222 @@
+"""Subgraph isomorphism and graph isomorphism for labeled graphs.
+
+Implements a VF2-style backtracking matcher with label and degree pruning.
+This is the workhorse behind support counting (``CheckFrequency`` in the
+paper's Fig 11/12) and behind duplicate elimination fallbacks.
+
+The matcher finds *subgraph isomorphisms* in the paper's sense (Section 3):
+an injective mapping ``f`` from pattern vertices to target vertices that
+preserves vertex labels and maps every pattern edge onto a target edge with
+the same label.  The target may have extra edges between mapped vertices
+(non-induced / monomorphism semantics, which is what frequent subgraph mining
+uses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .database import GraphDatabase
+from .labeled_graph import LabeledGraph
+
+
+def _match_order(pattern: LabeledGraph) -> list[int]:
+    """Order pattern vertices so each (after the first) touches a prior one.
+
+    Starts from the highest-degree vertex and grows a connected frontier,
+    preferring vertices with many already-ordered neighbors (most
+    constrained first).  Isolated vertices, if any, come last.
+    """
+    n = pattern.num_vertices
+    if n == 0:
+        return []
+    placed: list[int] = []
+    in_order = [False] * n
+    start = max(range(n), key=pattern.degree)
+    placed.append(start)
+    in_order[start] = True
+    while len(placed) < n:
+        best = None
+        best_key = None
+        for v in range(n):
+            if in_order[v]:
+                continue
+            backlinks = sum(1 for w in pattern.neighbor_ids(v) if in_order[w])
+            key = (backlinks, pattern.degree(v))
+            if best is None or key > best_key:
+                best, best_key = v, key
+        assert best is not None
+        placed.append(best)
+        in_order[best] = True
+    return placed
+
+
+def _quick_reject(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """True if the target trivially cannot contain the pattern."""
+    if (
+        pattern.num_vertices > target.num_vertices
+        or pattern.num_edges > target.num_edges
+    ):
+        return True
+    pv, pe = pattern.label_histogram()
+    tv, te = target.label_histogram()
+    for label, count in pv.items():
+        if tv.get(label, 0) < count:
+            return True
+    for label, count in pe.items():
+        if te.get(label, 0) < count:
+            return True
+    return False
+
+
+def find_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: int | None = None,
+    induced: bool = False,
+) -> Iterator[dict[int, int]]:
+    """Yield subgraph-isomorphism mappings pattern-vertex -> target-vertex.
+
+    At most ``limit`` mappings are produced when given.  An empty pattern
+    yields one empty mapping.
+
+    With ``induced=True`` the mapping must also preserve *non*-edges: two
+    unconnected pattern vertices may not map onto adjacent target vertices
+    (the AGM family's induced-subgraph semantics).
+    """
+    if _quick_reject(pattern, target):
+        return
+    order = _match_order(pattern)
+    n = len(order)
+    if n == 0:
+        yield {}
+        return
+
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+    produced = 0
+
+    # Precompute, for each ordered vertex, its pattern neighbors that are
+    # already mapped when it is placed (and, for induced matching, the
+    # already-mapped non-neighbors whose images must stay non-adjacent).
+    position = {v: i for i, v in enumerate(order)}
+    prior_neighbors: list[list[tuple[int, object]]] = []
+    prior_non_neighbors: list[list[int]] = []
+    for v in order:
+        prior = [
+            (w, label)
+            for w, label in pattern.neighbors(v)
+            if position[w] < position[v]
+        ]
+        prior_neighbors.append(prior)
+        if induced:
+            neighbor_ids = set(pattern.neighbor_ids(v))
+            prior_non_neighbors.append(
+                [
+                    w
+                    for w in order[: position[v]]
+                    if w not in neighbor_ids
+                ]
+            )
+        else:
+            prior_non_neighbors.append([])
+
+    def candidates(depth: int) -> Iterator[int]:
+        v = order[depth]
+        v_label = pattern.vertex_label(v)
+        prior = prior_neighbors[depth]
+        if prior:
+            # Candidates must be neighbors of an already-mapped vertex.
+            anchor, anchor_label = prior[0]
+            for cand, cand_elabel in target.neighbors(mapping[anchor]):
+                if cand in used or cand_elabel != anchor_label:
+                    continue
+                if target.vertex_label(cand) != v_label:
+                    continue
+                if target.degree(cand) < pattern.degree(v):
+                    continue
+                yield cand
+        else:
+            for cand in range(target.num_vertices):
+                if cand in used:
+                    continue
+                if target.vertex_label(cand) != v_label:
+                    continue
+                if target.degree(cand) < pattern.degree(v):
+                    continue
+                yield cand
+
+    def feasible(depth: int, cand: int) -> bool:
+        for w, label in prior_neighbors[depth]:
+            tw = mapping[w]
+            if not target.has_edge(cand, tw):
+                return False
+            if target.edge_label(cand, tw) != label:
+                return False
+        for w in prior_non_neighbors[depth]:
+            if target.has_edge(cand, mapping[w]):
+                return False  # induced matching: non-edge must stay one
+        return True
+
+    def backtrack(depth: int) -> Iterator[dict[int, int]]:
+        nonlocal produced
+        if depth == n:
+            produced += 1
+            yield dict(mapping)
+            return
+        v = order[depth]
+        for cand in candidates(depth):
+            if not feasible(depth, cand):
+                continue
+            mapping[v] = cand
+            used.add(cand)
+            yield from backtrack(depth + 1)
+            used.discard(cand)
+            del mapping[v]
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def subgraph_exists(
+    pattern: LabeledGraph, target: LabeledGraph, induced: bool = False
+) -> bool:
+    """True if ``pattern`` is subgraph-isomorphic to ``target``.
+
+    ``induced=True`` switches to induced-subgraph semantics.
+    """
+    for _ in find_embeddings(pattern, target, limit=1, induced=induced):
+        return True
+    return False
+
+
+def are_isomorphic(g1: LabeledGraph, g2: LabeledGraph) -> bool:
+    """True if the two graphs are isomorphic (same labels, same structure)."""
+    if g1.num_vertices != g2.num_vertices or g1.num_edges != g2.num_edges:
+        return False
+    # Same vertex/edge counts: any subgraph isomorphism is a bijection, and
+    # edge counts matching forces edge sets to coincide under it.
+    return subgraph_exists(g1, g2)
+
+
+def count_support(
+    pattern: LabeledGraph,
+    database: GraphDatabase,
+    candidate_gids: set[int] | None = None,
+    induced: bool = False,
+) -> tuple[int, set[int]]:
+    """Count the database graphs containing ``pattern``.
+
+    ``candidate_gids`` restricts the scan to those gids (the rest count as
+    non-supporting); pass ``None`` to scan the whole database; ``induced``
+    switches to induced-subgraph semantics.  Returns
+    ``(support, supporting_gids)``.
+    """
+    supporting: set[int] = set()
+    for gid, graph in database:
+        if candidate_gids is not None and gid not in candidate_gids:
+            continue
+        if subgraph_exists(pattern, graph, induced=induced):
+            supporting.add(gid)
+    return len(supporting), supporting

@@ -1,0 +1,257 @@
+"""Labeled undirected graphs.
+
+This module provides :class:`LabeledGraph`, the fundamental data structure of
+the library.  Graphs are undirected, vertex- and edge-labeled, without
+multi-edges or self-loops, matching the data model of the paper (Section 3):
+``G = (V, E, L_V, L_E)``.
+
+Vertices are dense integer ids ``0..n-1``.  Labels may be any hashable value
+with a total order within a graph database (ints in all shipped generators).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Label = Hashable
+Edge = tuple[int, int, Label]
+
+
+class LabeledGraph:
+    """An undirected graph with labeled vertices and edges.
+
+    The *size* of a graph is its number of edges (paper, Section 3); a graph
+    with ``k`` edges is a *k-edge graph*.
+
+    Mutating methods bump an internal ``version`` counter so that cached
+    derived artifacts (canonical codes, label histograms) can be invalidated
+    by their owners.
+    """
+
+    __slots__ = ("_vertex_labels", "_adj", "_num_edges", "version", "_hist")
+
+    def __init__(self) -> None:
+        self._vertex_labels: list[Label] = []
+        self._adj: list[dict[int, Label]] = []
+        self._num_edges = 0
+        self.version = 0
+        self._hist: tuple | None = None  # (version, vertex_counts, edge_counts)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertices_and_edges(
+        cls,
+        vertex_labels: Iterable[Label],
+        edges: Iterable[Edge],
+    ) -> "LabeledGraph":
+        """Build a graph from a label list and ``(u, v, label)`` triples."""
+        graph = cls()
+        for label in vertex_labels:
+            graph.add_vertex(label)
+        for u, v, label in edges:
+            graph.add_edge(u, v, label)
+        return graph
+
+    @classmethod
+    def single_edge(
+        cls, u_label: Label, edge_label: Label, v_label: Label
+    ) -> "LabeledGraph":
+        """Build the 1-edge graph ``(u_label) --edge_label-- (v_label)``."""
+        graph = cls()
+        u = graph.add_vertex(u_label)
+        v = graph.add_vertex(v_label)
+        graph.add_edge(u, v, edge_label)
+        return graph
+
+    def copy(self) -> "LabeledGraph":
+        """Return an independent structural copy (fresh version counter)."""
+        clone = LabeledGraph()
+        clone._vertex_labels = list(self._vertex_labels)
+        clone._adj = [dict(nbrs) for nbrs in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label) -> int:
+        """Add a vertex with ``label`` and return its id."""
+        self._vertex_labels.append(label)
+        self._adj.append({})
+        self.version += 1
+        return len(self._vertex_labels) - 1
+
+    def add_edge(self, u: int, v: int, label: Label) -> None:
+        """Add an undirected edge ``(u, v)`` with ``label``.
+
+        Raises :class:`ValueError` on self-loops, duplicate edges, or unknown
+        vertex ids.
+        """
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        n = len(self._vertex_labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) references unknown vertex (n={n})")
+        if v in self._adj[u]:
+            raise ValueError(f"duplicate edge ({u}, {v})")
+        self._adj[u][v] = label
+        self._adj[v][u] = label
+        self._num_edges += 1
+        self.version += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``(u, v)``; raises :class:`KeyError` if absent."""
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self.version += 1
+
+    def set_vertex_label(self, v: int, label: Label) -> None:
+        """Relabel vertex ``v``."""
+        self._vertex_labels[v] = label
+        self.version += 1
+
+    def set_edge_label(self, u: int, v: int, label: Label) -> None:
+        """Relabel the edge ``(u, v)``; raises :class:`KeyError` if absent."""
+        if v not in self._adj[u]:
+            raise KeyError((u, v))
+        self._adj[u][v] = label
+        self._adj[v][u] = label
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """Size of the graph = number of edges (paper terminology)."""
+        return self._num_edges
+
+    def vertex_label(self, v: int) -> Label:
+        return self._vertex_labels[v]
+
+    def vertex_labels(self) -> list[Label]:
+        """Labels of all vertices, indexed by vertex id (a copy)."""
+        return list(self._vertex_labels)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return 0 <= u < len(self._adj) and v in self._adj[u]
+
+    def edge_label(self, u: int, v: int) -> Label:
+        return self._adj[u][v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> Iterator[tuple[int, Label]]:
+        """Yield ``(neighbor, edge_label)`` pairs of vertex ``v``."""
+        return iter(self._adj[v].items())
+
+    def neighbor_ids(self, v: int) -> Iterator[int]:
+        return iter(self._adj[v])
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield every edge once as ``(u, v, label)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, label in nbrs.items():
+                if u < v:
+                    yield (u, v, label)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(len(self._vertex_labels)))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[list[int]]:
+        """Vertex ids of each connected component (isolated vertices too)."""
+        seen = [False] * self.num_vertices
+        components = []
+        for start in range(self.num_vertices):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self._adj[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True if the graph has one component (the empty graph is connected)."""
+        return len(self.connected_components()) <= 1
+
+    def induced_subgraph(self, vertex_ids: Iterable[int]) -> "LabeledGraph":
+        """Subgraph induced by ``vertex_ids`` with vertices renumbered densely.
+
+        Vertex ``vertex_ids[i]`` of this graph becomes vertex ``i`` of the
+        result.
+        """
+        ids = list(vertex_ids)
+        mapping = {old: new for new, old in enumerate(ids)}
+        sub = LabeledGraph()
+        for old in ids:
+            sub.add_vertex(self._vertex_labels[old])
+        for old in ids:
+            for nbr, label in self._adj[old].items():
+                if nbr in mapping and old < nbr:
+                    sub.add_edge(mapping[old], mapping[nbr], label)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[tuple[int, int]]) -> "LabeledGraph":
+        """Subgraph of the given edges with their endpoints, renumbered densely."""
+        edge_list = list(edges)
+        mapping: dict[int, int] = {}
+        sub = LabeledGraph()
+        for u, v in edge_list:
+            for w in (u, v):
+                if w not in mapping:
+                    mapping[w] = sub.add_vertex(self._vertex_labels[w])
+        for u, v in edge_list:
+            sub.add_edge(mapping[u], mapping[v], self._adj[u][v])
+        return sub
+
+    def label_histogram(self) -> tuple[dict[Label, int], dict[Label, int]]:
+        """Return ``(vertex_label_counts, edge_label_counts)``.
+
+        Cached per mutation version (isomorphism pre-checks call this on
+        every comparison); callers must not mutate the returned dicts.
+        """
+        if self._hist is not None and self._hist[0] == self.version:
+            return self._hist[1], self._hist[2]
+        vertex_counts: dict[Label, int] = {}
+        for label in self._vertex_labels:
+            vertex_counts[label] = vertex_counts.get(label, 0) + 1
+        edge_counts: dict[Label, int] = {}
+        for _, _, label in self.edges():
+            edge_counts[label] = edge_counts.get(label, 0) + 1
+        self._hist = (self.version, vertex_counts, edge_counts)
+        return vertex_counts, edge_counts
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,15 @@
+"""ADI / ADIMINE: the disk-based baseline miner (Wang et al., SIGKDD 2004)."""
+
+from .adimine import ADIMiner, ADIMineStats
+from .index import ADIIndex, deserialize_graph, serialize_graph
+from .storage import BlockStorage, StorageStats
+
+__all__ = [
+    "ADIIndex",
+    "ADIMiner",
+    "ADIMineStats",
+    "BlockStorage",
+    "StorageStats",
+    "deserialize_graph",
+    "serialize_graph",
+]

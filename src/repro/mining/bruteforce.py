@@ -1,0 +1,94 @@
+"""Exhaustive reference miner (test oracle).
+
+Enumerates every connected edge subset of every database graph (optionally
+bounded in size), identifies them by canonical code, and counts per-graph
+containment exactly.  Exponential in graph size — intended for small inputs
+in tests and for verifying the completeness theorems (paper Section 4.3.1)
+empirically.
+"""
+
+from __future__ import annotations
+
+from ..graph.canonical import canonical_code
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from .base import Pattern, PatternKey, PatternSet
+
+
+def connected_edge_subgraph_codes(
+    graph: LabeledGraph, max_size: int | None = None
+) -> dict[PatternKey, LabeledGraph]:
+    """Canonical codes of all connected edge-subgraphs of ``graph``.
+
+    Returns a mapping from canonical key to one representative subgraph.
+    ``max_size`` bounds the number of edges per subgraph (None = unbounded).
+    """
+    edges = list(graph.edges())
+    edge_index = {(u, v): i for i, (u, v, _) in enumerate(edges)}
+    edge_index.update({(v, u): i for i, (u, v, _) in enumerate(edges)})
+
+    found: dict[PatternKey, LabeledGraph] = {}
+    seen_subsets: set[frozenset[int]] = set()
+
+    # Level-wise growth: a connected (k+1)-subset extends a connected
+    # k-subset by an adjacent edge, so BFS over subsets reaches everything.
+    frontier = []
+    for i, (u, v, _) in enumerate(edges):
+        subset = frozenset([i])
+        seen_subsets.add(subset)
+        frontier.append((subset, frozenset([u, v])))
+
+    while frontier:
+        next_frontier = []
+        for subset, vertices in frontier:
+            sub = graph.edge_subgraph(
+                (edges[i][0], edges[i][1]) for i in subset
+            )
+            key = canonical_code(sub)
+            if key not in found:
+                found[key] = sub
+            if max_size is not None and len(subset) >= max_size:
+                continue
+            for w in vertices:
+                for x, _label in graph.neighbors(w):
+                    i = edge_index[(w, x)]
+                    if i in subset:
+                        continue
+                    grown = subset | {i}
+                    if grown in seen_subsets:
+                        continue
+                    seen_subsets.add(grown)
+                    next_frontier.append((grown, vertices | {x}))
+        frontier = next_frontier
+    return found
+
+
+class BruteForceMiner:
+    """Exact miner by exhaustive connected-subgraph enumeration."""
+
+    def __init__(self, max_size: int | None = None) -> None:
+        self.max_size = max_size
+
+    def mine(
+        self, database: GraphDatabase, min_support: float | int
+    ) -> PatternSet:
+        """Mine all frequent connected patterns (see :class:`Miner`)."""
+        threshold = database.absolute_support(min_support)
+        occurrences: dict[PatternKey, tuple[LabeledGraph, set[int]]] = {}
+        for gid, graph in database:
+            for key, sub in connected_edge_subgraph_codes(
+                graph, self.max_size
+            ).items():
+                if key not in occurrences:
+                    occurrences[key] = (sub, set())
+                occurrences[key][1].add(gid)
+        result = PatternSet()
+        for key, (sub, tids) in occurrences.items():
+            if len(tids) >= threshold:
+                result.add(
+                    Pattern(
+                        graph=sub, key=key, support=len(tids),
+                        tids=frozenset(tids),
+                    )
+                )
+        return result

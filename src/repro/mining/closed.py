@@ -1,0 +1,90 @@
+"""Closed and maximal frequent pattern post-processing.
+
+The paper's related work (Section 2) cites CloseGraph [17] (closed
+patterns) and SPIN [5] (maximal patterns) as condensed representations of
+the frequent set.  This module derives both representations from any
+:class:`PatternSet`, so every miner in the library — including PartMiner —
+gets them for free:
+
+* a frequent pattern is **closed** when no frequent supergraph has the
+  same support;
+* a frequent pattern is **maximal** when no frequent supergraph exists at
+  all (maximal implies closed).
+
+The input set must be downward-closed (the full frequent set at one
+threshold), which is what every miner here returns.
+"""
+
+from __future__ import annotations
+
+from ..graph.isomorphism import subgraph_exists
+from .base import Pattern, PatternSet
+
+
+def _supergraph_candidates(
+    pattern: Pattern, by_size: dict[int, list[Pattern]]
+) -> list[Pattern]:
+    """Frequent patterns one edge bigger whose TIDs allow containment."""
+    return [
+        candidate
+        for candidate in by_size.get(pattern.size + 1, [])
+        if candidate.tids <= pattern.tids
+    ]
+
+
+def _index_by_size(patterns: PatternSet) -> dict[int, list[Pattern]]:
+    by_size: dict[int, list[Pattern]] = {}
+    for pattern in patterns:
+        by_size.setdefault(pattern.size, []).append(pattern)
+    return by_size
+
+
+def closed_patterns(patterns: PatternSet) -> PatternSet:
+    """The closed subset of a complete frequent pattern set.
+
+    Uses the one-edge-extension argument: if any frequent supergraph of
+    ``p`` shares ``p``'s support, then some frequent supergraph with
+    exactly one more edge does (its intermediate subgraphs are frequent
+    with support squeezed between the two). So only size ``k+1`` patterns
+    need checking against each size-``k`` pattern.
+    """
+    by_size = _index_by_size(patterns)
+    result = PatternSet()
+    for pattern in patterns:
+        is_closed = True
+        for candidate in _supergraph_candidates(pattern, by_size):
+            if candidate.support == pattern.support and subgraph_exists(
+                pattern.graph, candidate.graph
+            ):
+                is_closed = False
+                break
+        if is_closed:
+            result.add(pattern)
+    return result
+
+
+def maximal_patterns(patterns: PatternSet) -> PatternSet:
+    """The maximal subset of a complete frequent pattern set.
+
+    A non-maximal pattern has a frequent supergraph, hence (by downward
+    closure) one with exactly one more edge; so again only the next size
+    level needs checking.
+    """
+    by_size = _index_by_size(patterns)
+    result = PatternSet()
+    for pattern in patterns:
+        is_maximal = True
+        for candidate in by_size.get(pattern.size + 1, []):
+            if subgraph_exists(pattern.graph, candidate.graph):
+                is_maximal = False
+                break
+        if is_maximal:
+            result.add(pattern)
+    return result
+
+
+def compression_ratio(patterns: PatternSet, condensed: PatternSet) -> float:
+    """How much smaller the condensed representation is (0..1)."""
+    if not len(patterns):
+        return 0.0
+    return 1.0 - len(condensed) / len(patterns)

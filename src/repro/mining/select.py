@@ -1,0 +1,89 @@
+"""Pattern selection: top-k mining and representative subsets.
+
+Frequent-pattern output is notoriously bulky; two standard ways to make it
+consumable, built on the library's miners:
+
+* :func:`mine_top_k` — the ``k`` most frequent patterns without guessing a
+  threshold (iterative threshold lowering, exact);
+* :func:`greedy_cover` — a small pattern "team" chosen greedily to cover
+  as many database graphs as possible (the classic max-coverage
+  heuristic, with its (1 - 1/e) guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph.database import GraphDatabase
+from .base import Pattern, PatternSet
+from .gspan import GSpanMiner
+
+
+def mine_top_k(
+    database: GraphDatabase,
+    k: int,
+    min_size: int = 1,
+    miner_factory: Callable[[], object] = GSpanMiner,
+) -> list[Pattern]:
+    """The ``k`` most frequent patterns with at least ``min_size`` edges.
+
+    Exact: starts at the highest possible threshold and halves it until
+    ``k`` qualifying patterns exist (or the threshold reaches 1), then
+    returns the top ``k`` ordered by support (descending), size
+    (descending — bigger patterns are more informative at equal support)
+    and canonical key (for determinism).
+
+    Patterns tied with the ``k``-th support are cut deterministically, so
+    two equally-supported patterns may differ only by the ordering rule.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    if not len(database):
+        return []
+
+    threshold = len(database)
+    qualifying: list[Pattern] = []
+    while True:
+        result = miner_factory().mine(database, threshold)
+        qualifying = [p for p in result if p.size >= min_size]
+        if len(qualifying) >= k or threshold == 1:
+            break
+        threshold = max(1, threshold // 2)
+
+    qualifying.sort(key=lambda p: (-p.support, -p.size, repr(p.key)))
+    return qualifying[:k]
+
+
+def greedy_cover(
+    patterns: PatternSet | list[Pattern],
+    k: int,
+    min_new_graphs: int = 1,
+) -> tuple[list[Pattern], set[int]]:
+    """Greedy max-coverage selection of at most ``k`` patterns.
+
+    Uses the patterns' TID lists: each step picks the pattern covering the
+    most not-yet-covered graphs, stopping early when no pattern adds at
+    least ``min_new_graphs``.  Returns ``(selected, covered_gids)``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1: {k}")
+    remaining = list(patterns)
+    covered: set[int] = set()
+    selected: list[Pattern] = []
+    while remaining and len(selected) < k:
+        best = max(
+            remaining,
+            key=lambda p: (
+                len(p.tids - covered),
+                p.size,
+                -len(p.tids),
+                repr(p.key),
+            ),
+        )
+        gain = len(best.tids - covered)
+        if gain < min_new_graphs:
+            break
+        selected.append(best)
+        covered |= best.tids
+        remaining = [p for p in remaining if p.key != best.key]
+    return selected, covered

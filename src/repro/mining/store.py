@@ -1,0 +1,109 @@
+"""Persistence for mining results.
+
+In the paper's dynamic environment, the pre-update results (``P(D)`` and
+every ``P(U_i)``) are the capital IncPartMiner lives off — they must
+survive process restarts.  This module serializes :class:`PatternSet`
+objects (graphs + supports + TID lists) to a compact JSON-lines format and
+round-trips the full incremental state.
+
+Format (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "patterns": N, ...meta}
+    {"kind": "pattern", "vertices": [...], "edges": [[u, v, l], ...],
+     "tids": [...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from ..graph.labeled_graph import LabeledGraph
+from .base import Pattern, PatternSet
+
+FORMAT_VERSION = 1
+
+
+def _pattern_record(pattern: Pattern) -> dict:
+    return {
+        "kind": "pattern",
+        "vertices": pattern.graph.vertex_labels(),
+        "edges": [[u, v, label] for u, v, label in pattern.graph.edges()],
+        "tids": sorted(pattern.tids),
+    }
+
+
+def _pattern_from_record(record: dict) -> Pattern:
+    graph = LabeledGraph.from_vertices_and_edges(
+        record["vertices"],
+        [(u, v, label) for u, v, label in record["edges"]],
+    )
+    return Pattern.from_graph(graph, record["tids"])
+
+
+def dump_patterns(
+    patterns: PatternSet, out: IO[str], meta: dict | None = None
+) -> None:
+    """Write a pattern set as JSON lines (header first)."""
+    header = {
+        "kind": "header",
+        "version": FORMAT_VERSION,
+        "patterns": len(patterns),
+    }
+    if meta:
+        header.update(meta)
+    out.write(json.dumps(header) + "\n")
+    for pattern in sorted(patterns, key=lambda p: (p.size, -p.support)):
+        out.write(json.dumps(_pattern_record(pattern)) + "\n")
+
+
+def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
+    """Read a pattern set written by :func:`dump_patterns`.
+
+    Returns ``(patterns, header_meta)``.  Raises :class:`ValueError` on a
+    missing/foreign header or an unsupported version.
+    """
+    iterator = iter(lines)
+    try:
+        header = json.loads(next(iterator))
+    except StopIteration:
+        raise ValueError("empty pattern file (missing header)") from None
+    if header.get("kind") != "header":
+        raise ValueError("not a pattern file (first line is no header)")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pattern file version {header.get('version')!r}"
+        )
+    patterns = PatternSet()
+    for line in iterator:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") != "pattern":
+            raise ValueError(f"unexpected record kind {record.get('kind')!r}")
+        patterns.add(_pattern_from_record(record))
+    expected = header.get("patterns")
+    if expected is not None and expected != len(patterns):
+        raise ValueError(
+            f"pattern count mismatch: header says {expected}, "
+            f"file holds {len(patterns)}"
+        )
+    return patterns, {
+        k: v
+        for k, v in header.items()
+        if k not in ("kind", "version", "patterns")
+    }
+
+
+def save_patterns(
+    patterns: PatternSet, path: str | Path, meta: dict | None = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as out:
+        dump_patterns(patterns, out, meta)
+
+
+def read_patterns(path: str | Path) -> tuple[PatternSet, dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_patterns(handle)

@@ -1,0 +1,133 @@
+"""Validation of mining results.
+
+Downstream users (and this library's own tests/benchmarks) often need to
+check a :class:`PatternSet` against a database: are all reported supports
+correct, is the set downward-closed (Apriori, paper Theorem 2), is it
+complete at the claimed threshold?  This module packages those checks with
+precise failure reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.canonical import canonical_code
+from ..graph.database import GraphDatabase
+from ..graph.isomorphism import count_support
+from .base import PatternSet
+from .gspan import GSpanMiner
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a pattern set against a database."""
+
+    patterns_checked: int = 0
+    support_errors: list[str] = field(default_factory=list)
+    closure_errors: list[str] = field(default_factory=list)
+    missing_patterns: int = 0
+    spurious_patterns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.support_errors
+            and not self.closure_errors
+            and self.missing_patterns == 0
+            and self.spurious_patterns == 0
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK ({self.patterns_checked} patterns validated)"
+        return (
+            f"FAILED: {len(self.support_errors)} support errors, "
+            f"{len(self.closure_errors)} closure violations, "
+            f"{self.missing_patterns} missing, "
+            f"{self.spurious_patterns} spurious"
+        )
+
+
+def check_supports(
+    patterns: PatternSet, database: GraphDatabase
+) -> ValidationReport:
+    """Verify every pattern's support count and TID list exactly."""
+    report = ValidationReport()
+    for pattern in patterns:
+        report.patterns_checked += 1
+        support, tids = count_support(pattern.graph, database)
+        if support != pattern.support or tids != pattern.tids:
+            report.support_errors.append(
+                f"pattern size={pattern.size}: claimed support "
+                f"{pattern.support}, actual {support}"
+            )
+    return report
+
+
+def check_downward_closure(patterns: PatternSet) -> ValidationReport:
+    """Verify Apriori (Theorem 2): subpatterns of members are members.
+
+    Checks every connected single-edge-deletion subgraph of every pattern.
+    """
+    report = ValidationReport()
+    keys = patterns.keys()
+    for pattern in patterns:
+        report.patterns_checked += 1
+        if pattern.size < 2:
+            continue
+        for u, v, _ in list(pattern.graph.edges()):
+            work = pattern.graph.copy()
+            work.remove_edge(u, v)
+            keep = [w for w in work.vertices() if work.degree(w) > 0]
+            sub = work.induced_subgraph(keep)
+            if not sub.num_edges or not sub.is_connected():
+                continue
+            if canonical_code(sub) not in keys:
+                report.closure_errors.append(
+                    f"size-{pattern.size} pattern has a missing "
+                    f"size-{sub.num_edges} subpattern"
+                )
+    return report
+
+
+def check_against_reference(
+    patterns: PatternSet,
+    database: GraphDatabase,
+    min_support: float | int,
+    max_size: int | None = None,
+) -> ValidationReport:
+    """Compare against a trusted reference miner (gSpan) on ``database``.
+
+    Reports patterns the reference finds but ``patterns`` lacks (missing)
+    and vice versa (spurious).  Expensive: re-mines the database.
+    """
+    report = ValidationReport(patterns_checked=len(patterns))
+    reference = GSpanMiner(max_size=max_size).mine(database, min_support)
+    report.missing_patterns = len(reference.keys() - patterns.keys())
+    report.spurious_patterns = len(patterns.keys() - reference.keys())
+    return report
+
+
+def validate(
+    patterns: PatternSet,
+    database: GraphDatabase,
+    min_support: float | int | None = None,
+    full: bool = False,
+) -> ValidationReport:
+    """Run the standard validation pipeline.
+
+    Always checks supports and downward closure; with ``full=True`` (and a
+    ``min_support``) additionally compares against the reference miner.
+    """
+    report = check_supports(patterns, database)
+    closure = check_downward_closure(patterns)
+    report.closure_errors = closure.closure_errors
+    if full:
+        if min_support is None:
+            raise ValueError("full validation requires min_support")
+        reference = check_against_reference(
+            patterns, database, min_support
+        )
+        report.missing_patterns = reference.missing_patterns
+        report.spurious_patterns = reference.spurious_patterns
+    return report

@@ -1,0 +1,145 @@
+"""Partition quality metrics.
+
+Section 4.1 motivates GraphPart with two goals — few connective edges, and
+updated vertices corralled into few units.  This module measures how well
+a bipartition or a whole partition tree meets them, so the fig13
+interpretation ("criteria matter because ...") rests on numbers:
+
+* **cut ratio** — connective edges / total edges (lower = better merge-join);
+* **balance** — smaller side / larger side by vertex count (units must all
+  fit in memory, so lopsided splits defeat the point);
+* **isolation** — the update-frequency mass concentrated in the hotter
+  side (higher = fewer units re-mined per batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..graph.labeled_graph import LabeledGraph
+from .graphpart import Bipartition
+from .units import PartitionTree
+
+
+@dataclass(frozen=True)
+class BipartitionQuality:
+    """Quality metrics of one graph's bipartition."""
+
+    cut_edges: int
+    total_edges: int
+    balance: float
+    isolation: float
+
+    @property
+    def cut_ratio(self) -> float:
+        if self.total_edges == 0:
+            return 0.0
+        return self.cut_edges / self.total_edges
+
+
+def bipartition_quality(
+    graph: LabeledGraph,
+    bipartition: Bipartition,
+    ufreq: Sequence[float] | None = None,
+) -> BipartitionQuality:
+    """Measure one bipartition against the Section 4.1 goals."""
+    size0 = len(bipartition.core0)
+    size1 = len(bipartition.core1)
+    larger = max(size0, size1)
+    balance = (min(size0, size1) / larger) if larger else 1.0
+
+    if ufreq is None:
+        ufreq = [0.0] * graph.num_vertices
+    mass0 = sum(ufreq[v] for v in bipartition.core0)
+    mass1 = sum(ufreq[v] for v in bipartition.core1)
+    total_mass = mass0 + mass1
+    isolation = (max(mass0, mass1) / total_mass) if total_mass else 1.0
+
+    return BipartitionQuality(
+        cut_edges=bipartition.num_connective_edges,
+        total_edges=graph.num_edges,
+        balance=balance,
+        isolation=isolation,
+    )
+
+
+@dataclass(frozen=True)
+class TreeQuality:
+    """Aggregated quality of a whole partition tree."""
+
+    average_cut_ratio: float
+    average_balance: float
+    total_connective_edges: int
+    unit_edge_counts: tuple[int, ...]
+
+    @property
+    def unit_skew(self) -> float:
+        """Largest unit / smallest unit by edge count (1.0 = perfect)."""
+        if not self.unit_edge_counts or min(self.unit_edge_counts) == 0:
+            return float("inf")
+        return max(self.unit_edge_counts) / min(self.unit_edge_counts)
+
+
+def tree_quality(tree: PartitionTree) -> TreeQuality:
+    """Aggregate split quality over every internal node of the tree."""
+    cut_ratios = []
+    balances = []
+    for node in tree.nodes():
+        if node.children is None:
+            continue
+        for gid, graph in node.database:
+            cut = len(node.connective_edges.get(gid, ()))
+            if graph.num_edges:
+                cut_ratios.append(cut / graph.num_edges)
+            left = node.children[0].database[gid].num_vertices
+            right = node.children[1].database[gid].num_vertices
+            larger = max(left, right)
+            balances.append(min(left, right) / larger if larger else 1.0)
+    units = tree.units()
+    return TreeQuality(
+        average_cut_ratio=(
+            sum(cut_ratios) / len(cut_ratios) if cut_ratios else 0.0
+        ),
+        average_balance=(
+            sum(balances) / len(balances) if balances else 1.0
+        ),
+        total_connective_edges=tree.total_connective_edges(),
+        unit_edge_counts=tuple(
+            unit.database.total_edges() for unit in units
+        ),
+    )
+
+
+def compare_partitioners(
+    graphs: Sequence[LabeledGraph],
+    partitioners: dict[str, object],
+    ufreqs: Sequence[Sequence[float]] | None = None,
+) -> dict[str, BipartitionQuality]:
+    """Average :class:`BipartitionQuality` per named partitioner.
+
+    ``partitioners`` maps display names to GraphPart-compatible callables;
+    metrics are averaged over ``graphs``.
+    """
+    if ufreqs is None:
+        ufreqs = [[0.0] * g.num_vertices for g in graphs]
+    results: dict[str, BipartitionQuality] = {}
+    for name, partitioner in partitioners.items():
+        cut = total = 0
+        balance_sum = isolation_sum = 0.0
+        for graph, ufreq in zip(graphs, ufreqs):
+            quality = bipartition_quality(
+                graph, partitioner(graph, ufreq), ufreq
+            )
+            cut += quality.cut_edges
+            total += quality.total_edges
+            balance_sum += quality.balance
+            isolation_sum += quality.isolation
+        count = max(1, len(graphs))
+        results[name] = BipartitionQuality(
+            cut_edges=cut,
+            total_edges=total,
+            balance=balance_sum / count,
+            isolation=isolation_sum / count,
+        )
+    return results

@@ -1,0 +1,220 @@
+"""A METIS-like multilevel bisection baseline (Karypis & Kumar style).
+
+The paper compares its GraphPart criteria against partitioning the graphs
+with METIS (Section 5.1.1, Fig 13).  This module implements the same recipe
+METIS uses, from scratch:
+
+1. **Coarsening** — repeatedly collapse a heavy-edge matching, accumulating
+   vertex and edge weights, until the graph is small;
+2. **Initial bisection** — greedy region growing on the coarsest graph to
+   half the total vertex weight;
+3. **Uncoarsening + refinement** — project the bisection back level by
+   level, improving it with Fiduccia–Mattheyses-style single-vertex moves
+   under a balance constraint.
+
+It deliberately optimizes connectivity only — update frequencies are
+ignored — which is exactly the property the paper's comparison exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..graph.labeled_graph import LabeledGraph
+from .graphpart import Bipartition, build_bipartition
+
+
+@dataclass
+class _WeightedGraph:
+    """Vertex- and edge-weighted undirected graph used during coarsening."""
+
+    vertex_weights: list[int]
+    adjacency: list[dict[int, int]]  # u -> {v: edge weight}
+
+    @classmethod
+    def from_labeled(cls, graph: LabeledGraph) -> "_WeightedGraph":
+        adjacency: list[dict[int, int]] = [
+            {} for _ in range(graph.num_vertices)
+        ]
+        for u, v, _ in graph.edges():
+            adjacency[u][v] = 1
+            adjacency[v][u] = 1
+        return cls([1] * graph.num_vertices, adjacency)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_weights)
+
+    def total_weight(self) -> int:
+        return sum(self.vertex_weights)
+
+
+def _heavy_edge_matching(
+    graph: _WeightedGraph, rng: random.Random
+) -> list[int]:
+    """Match each vertex to at most one neighbor, preferring heavy edges.
+
+    Returns ``match`` where ``match[v]`` is ``v``'s partner (or ``v``).
+    """
+    order = list(range(graph.num_vertices))
+    rng.shuffle(order)
+    match = list(range(graph.num_vertices))
+    matched = [False] * graph.num_vertices
+    for v in order:
+        if matched[v]:
+            continue
+        best = None
+        best_weight = -1
+        for w, weight in graph.adjacency[v].items():
+            if not matched[w] and weight > best_weight:
+                best, best_weight = w, weight
+        if best is not None:
+            match[v] = best
+            match[best] = v
+            matched[v] = matched[best] = True
+    return match
+
+
+def _coarsen(
+    graph: _WeightedGraph, rng: random.Random
+) -> tuple[_WeightedGraph, list[int]]:
+    """Collapse a heavy-edge matching; returns (coarse graph, fine->coarse)."""
+    match = _heavy_edge_matching(graph, rng)
+    coarse_of: list[int] = [-1] * graph.num_vertices
+    next_id = 0
+    for v in range(graph.num_vertices):
+        if coarse_of[v] >= 0:
+            continue
+        coarse_of[v] = next_id
+        partner = match[v]
+        if partner != v:
+            coarse_of[partner] = next_id
+        next_id += 1
+    vertex_weights = [0] * next_id
+    adjacency: list[dict[int, int]] = [{} for _ in range(next_id)]
+    for v in range(graph.num_vertices):
+        vertex_weights[coarse_of[v]] += graph.vertex_weights[v]
+    for v in range(graph.num_vertices):
+        cv = coarse_of[v]
+        for w, weight in graph.adjacency[v].items():
+            cw = coarse_of[w]
+            if cv == cw or v > w:
+                continue
+            adjacency[cv][cw] = adjacency[cv].get(cw, 0) + weight
+            adjacency[cw][cv] = adjacency[cw].get(cv, 0) + weight
+    return _WeightedGraph(vertex_weights, adjacency), coarse_of
+
+
+def _initial_bisection(graph: _WeightedGraph, rng: random.Random) -> list[int]:
+    """Greedy region growing to ~half the total vertex weight."""
+    n = graph.num_vertices
+    side = [1] * n
+    if n == 0:
+        return side
+    target = graph.total_weight() / 2
+    start = rng.randrange(n)
+    grown_weight = 0
+    frontier = [start]
+    seen = {start}
+    while frontier and grown_weight < target:
+        v = frontier.pop()
+        side[v] = 0
+        grown_weight += graph.vertex_weights[v]
+        for w in graph.adjacency[v]:
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    if all(s == 0 for s in side) and n > 1:
+        side[start] = 1  # never leave a side empty
+    return side
+
+
+def _refine(
+    graph: _WeightedGraph,
+    side: list[int],
+    balance_tolerance: float,
+    max_passes: int,
+) -> None:
+    """FM-style refinement: greedy positive-gain moves under balance."""
+    total = graph.total_weight()
+    min_side = total * (0.5 - balance_tolerance)
+    weights = [0, 0]
+    for v in range(graph.num_vertices):
+        weights[side[v]] += graph.vertex_weights[v]
+    for _ in range(max_passes):
+        improved = False
+        for v in range(graph.num_vertices):
+            here = side[v]
+            there = 1 - here
+            if weights[here] - graph.vertex_weights[v] < min_side:
+                continue
+            gain = 0
+            for w, weight in graph.adjacency[v].items():
+                gain += weight if side[w] == there else -weight
+            if gain > 0:
+                side[v] = there
+                weights[here] -= graph.vertex_weights[v]
+                weights[there] += graph.vertex_weights[v]
+                improved = True
+        if not improved:
+            break
+
+
+class MetisPartitioner:
+    """Multilevel bisection partitioner with the GraphPart call interface.
+
+    Update frequencies passed to :meth:`partition` are ignored — this is the
+    connectivity-only baseline of the paper's Fig 13.
+    """
+
+    def __init__(
+        self,
+        coarsen_to: int = 10,
+        balance_tolerance: float = 0.25,
+        refine_passes: int = 8,
+        seed: int = 17,
+    ) -> None:
+        self.coarsen_to = coarsen_to
+        self.balance_tolerance = balance_tolerance
+        self.refine_passes = refine_passes
+        self.seed = seed
+
+    def __call__(
+        self,
+        graph: LabeledGraph,
+        ufreq: Sequence[float] | None = None,
+    ) -> Bipartition:
+        return self.partition(graph, ufreq)
+
+    def partition(
+        self,
+        graph: LabeledGraph,
+        ufreq: Sequence[float] | None = None,
+    ) -> Bipartition:
+        n = graph.num_vertices
+        if n < 2 or graph.num_edges == 0:
+            return build_bipartition(graph, set(graph.vertices()), ufreq)
+        rng = random.Random(self.seed)
+        levels: list[tuple[_WeightedGraph, list[int] | None]] = []
+        work = _WeightedGraph.from_labeled(graph)
+        projections: list[list[int]] = []
+        while work.num_vertices > self.coarsen_to:
+            coarse, fine_to_coarse = _coarsen(work, rng)
+            if coarse.num_vertices >= work.num_vertices:
+                break  # matching made no progress (e.g. no edges left)
+            levels.append((work, None))
+            projections.append(fine_to_coarse)
+            work = coarse
+        side = _initial_bisection(work, rng)
+        _refine(work, side, self.balance_tolerance, self.refine_passes)
+        while projections:
+            fine_graph, _ = levels.pop()
+            fine_to_coarse = projections.pop()
+            side = [side[fine_to_coarse[v]] for v in range(fine_graph.num_vertices)]
+            _refine(fine_graph, side, self.balance_tolerance, self.refine_passes)
+        subset = {v for v in range(n) if side[v] == 0}
+        if not subset or len(subset) == n:
+            subset = set(range(n // 2))  # degenerate fallback
+        return build_bipartition(graph, subset, ufreq)

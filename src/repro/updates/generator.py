@@ -1,0 +1,171 @@
+"""Synthetic update workload generator (paper, Section 5).
+
+Generates batches of the three update kinds over a chosen percentage of the
+database's graphs, sampling target vertices proportionally to their update
+frequencies (the hot-set model of :mod:`repro.updates.tracker`) so that the
+paper's premise — updates concentrate on predictable vertices — holds.
+
+Update kinds (matching the paper's experiment axes):
+
+* ``"relabel"``   — update vertex/edge labels with existing or new labels
+  (Fig 17(a));
+* ``"structural"`` — add new edges and new vertices with existing or new
+  labels (Fig 17(b));
+* ``"mixed"``      — a blend of both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from ..partition.units import UfreqMap
+from .model import AddEdge, AddVertex, RelabelEdge, RelabelVertex, Update
+
+UPDATE_KINDS = ("relabel", "structural", "mixed")
+
+
+class UpdateGenerator:
+    """Random update batches over a graph database.
+
+    Parameters
+    ----------
+    num_vertex_labels / num_edge_labels:
+        Existing label domains (labels are ``0..n-1``); *new* labels are
+        drawn from ``n..2n-1``.
+    new_label_probability:
+        Chance that a relabel/addition uses a label outside the existing
+        domain (the paper's "existing or new labels").
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_vertex_labels: int,
+        num_edge_labels: int,
+        new_label_probability: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        self.num_vertex_labels = num_vertex_labels
+        self.num_edge_labels = num_edge_labels
+        self.new_label_probability = new_label_probability
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def _label(self, domain: int) -> int:
+        if self.rng.random() < self.new_label_probability:
+            return domain + self.rng.randrange(domain)
+        return self.rng.randrange(domain)
+
+    def _weighted_vertex(
+        self, graph: LabeledGraph, ufreq: Sequence[float]
+    ) -> int:
+        weights = [ufreq[v] + 1e-6 for v in range(graph.num_vertices)]
+        return self.rng.choices(range(graph.num_vertices), weights)[0]
+
+    # ------------------------------------------------------------------
+    def _relabel_op(
+        self, gid: int, graph: LabeledGraph, ufreq: Sequence[float]
+    ) -> Update:
+        vertex = self._weighted_vertex(graph, ufreq)
+        if graph.degree(vertex) > 0 and self.rng.random() < 0.5:
+            neighbor = self.rng.choice(list(graph.neighbor_ids(vertex)))
+            return RelabelEdge(
+                gid, vertex, neighbor, self._label(self.num_edge_labels)
+            )
+        return RelabelVertex(gid, vertex, self._label(self.num_vertex_labels))
+
+    def _structural_op(
+        self, gid: int, graph: LabeledGraph, ufreq: Sequence[float]
+    ) -> Update:
+        vertex = self._weighted_vertex(graph, ufreq)
+        candidates = [
+            w
+            for w in range(graph.num_vertices)
+            if w != vertex and not graph.has_edge(vertex, w)
+        ]
+        if candidates and self.rng.random() < 0.5:
+            return AddEdge(
+                gid,
+                vertex,
+                self.rng.choice(candidates),
+                self._label(self.num_edge_labels),
+            )
+        return AddVertex(
+            gid,
+            self._label(self.num_vertex_labels),
+            vertex,
+            self._label(self.num_edge_labels),
+        )
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        database: GraphDatabase,
+        ufreq: UfreqMap,
+        fraction_graphs: float,
+        ops_per_graph: int = 1,
+        kind: str = "mixed",
+    ) -> list[Update]:
+        """Build an update batch.
+
+        ``fraction_graphs`` of the database's graphs (the paper's "amount of
+        updates", 20%-80%) each receive ``ops_per_graph`` operations of the
+        requested ``kind``.  The returned updates have **not** been applied.
+        """
+        if kind not in UPDATE_KINDS:
+            raise ValueError(f"kind must be one of {UPDATE_KINDS}: {kind!r}")
+        if not 0 <= fraction_graphs <= 1:
+            raise ValueError(
+                f"fraction_graphs must be in [0, 1]: {fraction_graphs}"
+            )
+        gids = database.gids()
+        num_updated = round(fraction_graphs * len(gids))
+        chosen = self.rng.sample(gids, num_updated)
+        updates: list[Update] = []
+        for gid in chosen:
+            # Work on a scratch copy so that consecutive operations on the
+            # same graph stay mutually consistent (an AddVertex makes the
+            # new vertex addressable by later operations, an AddEdge cannot
+            # be generated twice for the same pair, ...).  The real database
+            # is only mutated when the caller applies the batch.
+            graph = database[gid].copy()
+            frequencies = list(ufreq.get(gid, ()))
+            if len(frequencies) < graph.num_vertices:
+                # The map may predate vertices added by earlier batches.
+                frequencies.extend(
+                    [0.0] * (graph.num_vertices - len(frequencies))
+                )
+            for _ in range(ops_per_graph):
+                if kind == "relabel":
+                    op = self._relabel_op(gid, graph, frequencies)
+                elif kind == "structural":
+                    op = self._structural_op(gid, graph, frequencies)
+                else:
+                    maker = self.rng.choice(
+                        [self._relabel_op, self._structural_op]
+                    )
+                    op = maker(gid, graph, frequencies)
+                updates.append(op)
+                self._apply_to_scratch(graph, frequencies, op)
+        return updates
+
+    @staticmethod
+    def _apply_to_scratch(
+        graph: LabeledGraph, frequencies: list[float], op: Update
+    ) -> None:
+        if isinstance(op, RelabelVertex):
+            graph.set_vertex_label(op.vertex, op.new_label)
+        elif isinstance(op, RelabelEdge):
+            graph.set_edge_label(op.u, op.v, op.new_label)
+        elif isinstance(op, AddEdge):
+            graph.add_edge(op.u, op.v, op.label)
+        elif isinstance(op, AddVertex):
+            new_vertex = graph.add_vertex(op.vertex_label)
+            graph.add_edge(new_vertex, op.attach_to, op.edge_label)
+            # New vertices inherit the attachment point's update frequency:
+            # they were just updated, so they are hot by construction.
+            frequencies.append(max(frequencies[op.attach_to], 0.5))

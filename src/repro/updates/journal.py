@@ -1,0 +1,153 @@
+"""Update journaling: persist and replay update batches.
+
+The pattern store (:mod:`repro.mining.store`) persists *results*; a
+durable dynamic deployment also needs the *changes* — so that a restarted
+process can rebuild its state from the last snapshot plus the journal, and
+so that experiments are replayable.  One JSON object per line::
+
+    {"kind": "header", "version": 1, ...meta}
+    {"kind": "batch", "index": 0, "updates": [ {"op": "relabel_vertex",
+        "gid": 3, "vertex": 1, "new_label": 7}, ... ]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from .model import AddEdge, AddVertex, RelabelEdge, RelabelVertex, Update
+
+JOURNAL_VERSION = 1
+
+_OP_NAMES = {
+    RelabelVertex: "relabel_vertex",
+    RelabelEdge: "relabel_edge",
+    AddEdge: "add_edge",
+    AddVertex: "add_vertex",
+}
+
+
+def _encode(update: Update) -> dict:
+    record = {"op": _OP_NAMES[type(update)]}
+    for name in update.__dataclass_fields__:
+        record[name] = getattr(update, name)
+    return record
+
+
+def _decode(record: dict) -> Update:
+    op = record.get("op")
+    fields = {k: v for k, v in record.items() if k != "op"}
+    if op == "relabel_vertex":
+        return RelabelVertex(**fields)
+    if op == "relabel_edge":
+        return RelabelEdge(**fields)
+    if op == "add_edge":
+        return AddEdge(**fields)
+    if op == "add_vertex":
+        return AddVertex(**fields)
+    raise ValueError(f"unknown update op {op!r}")
+
+
+class UpdateJournal:
+    """An append-only journal of update batches."""
+
+    def __init__(self, meta: dict | None = None) -> None:
+        self.meta = dict(meta or {})
+        self.batches: list[list[Update]] = []
+
+    def append(self, updates: list[Update]) -> int:
+        """Record one batch; returns its index."""
+        self.batches.append(list(updates))
+        return len(self.batches) - 1
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def all_updates(self) -> list[Update]:
+        """Every journaled update, in application order."""
+        return [u for batch in self.batches for u in batch]
+
+    # ------------------------------------------------------------------
+    def dump(self, out: IO[str]) -> None:
+        """Write the journal as JSON lines (header first)."""
+        header = {"kind": "header", "version": JOURNAL_VERSION}
+        header.update(self.meta)
+        out.write(json.dumps(header) + "\n")
+        for index, batch in enumerate(self.batches):
+            out.write(
+                json.dumps(
+                    {
+                        "kind": "batch",
+                        "index": index,
+                        "updates": [_encode(u) for u in batch],
+                    }
+                )
+                + "\n"
+            )
+
+    @classmethod
+    def load(cls, lines: Iterator[str] | IO[str]) -> "UpdateJournal":
+        """Parse a journal written by :meth:`dump` (validates structure)."""
+        iterator = iter(lines)
+        try:
+            header = json.loads(next(iterator))
+        except StopIteration:
+            raise ValueError("empty journal (missing header)") from None
+        if header.get("kind") != "header":
+            raise ValueError("not a journal (first line is no header)")
+        if header.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {header.get('version')!r}"
+            )
+        journal = cls(
+            meta={
+                k: v
+                for k, v in header.items()
+                if k not in ("kind", "version")
+            }
+        )
+        for line in iterator:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != "batch":
+                raise ValueError(
+                    f"unexpected record kind {record.get('kind')!r}"
+                )
+            if record.get("index") != len(journal.batches):
+                raise ValueError(
+                    f"batch index {record.get('index')} out of order "
+                    f"(expected {len(journal.batches)})"
+                )
+            journal.batches.append(
+                [_decode(r) for r in record.get("updates", [])]
+            )
+        return journal
+
+    def save(self, path: str | Path) -> None:
+        """Write the journal to ``path``."""
+        with open(path, "w", encoding="utf-8") as out:
+            self.dump(out)
+
+    @classmethod
+    def read(cls, path: str | Path) -> "UpdateJournal":
+        """Read a journal from ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.load(handle)
+
+
+def replay(journal: UpdateJournal, database) -> dict[int, set[int]]:
+    """Apply every journaled batch to ``database`` in order.
+
+    Returns the union of touched vertices per gid (as
+    :func:`repro.updates.model.apply_updates` does per batch).
+    """
+    from .model import apply_updates
+
+    touched: dict[int, set[int]] = {}
+    for batch in journal.batches:
+        for gid, vertices in apply_updates(database, batch).items():
+            touched.setdefault(gid, set()).update(vertices)
+    return touched

@@ -1,0 +1,103 @@
+"""The update model: the paper's three kinds of database updates.
+
+Section 5 extends the data generator with three update operations:
+
+1. relabel a vertex or an edge (existing or new label),
+2. add a new edge between two existing vertices,
+3. add a new vertex together with an edge attaching it.
+
+Each operation targets one graph (by gid) and reports the **root vertex
+ids** it touches, which is what drives both update-frequency tracking and
+IncPartMiner's affected-unit computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import Label
+
+
+@dataclass(frozen=True)
+class RelabelVertex:
+    """Change the label of vertex ``vertex`` in graph ``gid``."""
+
+    gid: int
+    vertex: int
+    new_label: Label
+
+
+@dataclass(frozen=True)
+class RelabelEdge:
+    """Change the label of edge ``(u, v)`` in graph ``gid``."""
+
+    gid: int
+    u: int
+    v: int
+    new_label: Label
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Add an edge ``(u, v)`` with ``label`` between existing vertices."""
+
+    gid: int
+    u: int
+    v: int
+    label: Label
+
+
+@dataclass(frozen=True)
+class AddVertex:
+    """Add a vertex with ``vertex_label`` and attach it to ``attach_to``."""
+
+    gid: int
+    vertex_label: Label
+    attach_to: int
+    edge_label: Label
+
+
+Update = Union[RelabelVertex, RelabelEdge, AddEdge, AddVertex]
+
+
+def apply_update(database: GraphDatabase, update: Update) -> list[int]:
+    """Apply one update in place; returns the touched root vertex ids.
+
+    Raises :class:`KeyError`/:class:`ValueError` when the referenced graph,
+    vertex, or edge does not exist (or an added edge already exists).
+    """
+    graph = database[update.gid]
+    if isinstance(update, RelabelVertex):
+        if not 0 <= update.vertex < graph.num_vertices:
+            raise ValueError(
+                f"graph {update.gid} has no vertex {update.vertex}"
+            )
+        graph.set_vertex_label(update.vertex, update.new_label)
+        return [update.vertex]
+    if isinstance(update, RelabelEdge):
+        graph.set_edge_label(update.u, update.v, update.new_label)
+        return [update.u, update.v]
+    if isinstance(update, AddEdge):
+        graph.add_edge(update.u, update.v, update.label)
+        return [update.u, update.v]
+    if isinstance(update, AddVertex):
+        new_vertex = graph.add_vertex(update.vertex_label)
+        graph.add_edge(new_vertex, update.attach_to, update.edge_label)
+        return [update.attach_to, new_vertex]
+    raise TypeError(f"unknown update type: {type(update).__name__}")
+
+
+def apply_updates(
+    database: GraphDatabase, updates: list[Update]
+) -> dict[int, set[int]]:
+    """Apply an update batch in place.
+
+    Returns the touched root vertex ids grouped by gid.
+    """
+    touched: dict[int, set[int]] = {}
+    for update in updates:
+        vertices = apply_update(database, update)
+        touched.setdefault(update.gid, set()).update(vertices)
+    return touched

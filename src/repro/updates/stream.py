@@ -1,0 +1,136 @@
+"""Update streams: long-running dynamic workloads.
+
+The paper's motivating applications (spatiotemporal databases, Section 1)
+produce *streams* of updates, not one batch.  :class:`UpdateStream` models
+such a workload: epochs of update batches whose hot set can *drift* over
+time — the realistic failure mode for ufreq-based partitioning, since the
+vertices that were hot when the database was partitioned slowly stop being
+the ones that change.
+
+Each epoch yields an update batch generated against the database's current
+state; the caller applies it (typically via
+:meth:`IncrementalPartMiner.apply_updates`) before drawing the next.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.database import GraphDatabase
+from ..partition.units import UfreqMap
+from .generator import UpdateGenerator
+from .model import Update
+
+
+@dataclass
+class EpochPlan:
+    """One epoch's parameters."""
+
+    index: int
+    fraction_graphs: float
+    ops_per_graph: int
+    kind: str
+
+
+class UpdateStream:
+    """A drifting multi-epoch update workload.
+
+    Parameters
+    ----------
+    database:
+        The live database the stream targets (read-only here: the stream
+        inspects sizes but never mutates; the caller applies batches).
+    ufreq:
+        The *initial* hot map; the stream maintains its own drifting copy,
+        exposed as :attr:`current_ufreq`.
+    drift:
+        Per-epoch probability that each hot vertex goes cold while a cold
+        one heats up (0 = the paper's stationary assumption).
+    fraction_graphs / ops_per_graph / kind:
+        Per-epoch batch shape (see :class:`UpdateGenerator`).
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        ufreq: UfreqMap,
+        num_labels: int,
+        fraction_graphs: float = 0.3,
+        ops_per_graph: int = 1,
+        kind: str = "mixed",
+        drift: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self._database = database
+        self.current_ufreq: UfreqMap = {
+            gid: tuple(values) for gid, values in ufreq.items()
+        }
+        self.fraction_graphs = fraction_graphs
+        self.ops_per_graph = ops_per_graph
+        self.kind = kind
+        self.drift = drift
+        self._rng = random.Random(seed)
+        self._generator = UpdateGenerator(
+            num_vertex_labels=num_labels,
+            num_edge_labels=num_labels,
+            seed=self._rng.randrange(2**31),
+        )
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    def _drift_ufreq(self) -> None:
+        """Swap a fraction of hot/cold roles (hot set drift)."""
+        if self.drift <= 0:
+            return
+        drifted: UfreqMap = {}
+        for gid, values in self.current_ufreq.items():
+            values = list(values)
+            n = len(values)
+            if n >= 2:
+                hot = [v for v in range(n) if values[v] >= 0.5]
+                cold = [v for v in range(n) if values[v] < 0.5]
+                for v in hot:
+                    if cold and self._rng.random() < self.drift:
+                        w = self._rng.choice(cold)
+                        values[v], values[w] = values[w], values[v]
+            drifted[gid] = tuple(values)
+        self.current_ufreq = drifted
+
+    def _sync_ufreq(self) -> None:
+        """Pad the hot map for vertices added by applied batches."""
+        for gid, graph in self._database:
+            current = self.current_ufreq.get(gid, ())
+            if len(current) < graph.num_vertices:
+                pad = (0.5,) * (graph.num_vertices - len(current))
+                self.current_ufreq[gid] = tuple(current) + pad
+
+    # ------------------------------------------------------------------
+    def next_batch(self) -> tuple[EpochPlan, list[Update]]:
+        """Produce the next epoch's update batch (without applying it)."""
+        self.epoch += 1
+        self._sync_ufreq()
+        self._drift_ufreq()
+        plan = EpochPlan(
+            index=self.epoch,
+            fraction_graphs=self.fraction_graphs,
+            ops_per_graph=self.ops_per_graph,
+            kind=self.kind,
+        )
+        batch = self._generator.generate(
+            self._database,
+            self.current_ufreq,
+            plan.fraction_graphs,
+            plan.ops_per_graph,
+            plan.kind,
+        )
+        return plan, batch
+
+    def batches(self, epochs: int):
+        """Yield ``epochs`` update batches lazily.
+
+        The caller must apply each batch to the database before advancing,
+        or later batches may reference stale graph shapes.
+        """
+        for _ in range(epochs):
+            yield self.next_batch()

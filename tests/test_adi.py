@@ -1,0 +1,160 @@
+"""Tests for the ADI structure and the ADIMINE baseline."""
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.mining.adi.adimine import ADIMiner
+from repro.mining.adi.index import (
+    ADIIndex,
+    deserialize_graph,
+    serialize_graph,
+)
+from repro.mining.adi.storage import BlockStorage
+from repro.mining.gspan import GSpanMiner
+
+from .conftest import make_graph, random_database, random_graph, triangle
+import random
+
+
+class TestBlockStorage:
+    def test_allocate_write_read(self):
+        with BlockStorage(page_size=64, cache_pages=2) as storage:
+            page = storage.allocate()
+            storage.write_page(page, b"hello")
+            assert storage.read_page(page)[:5] == b"hello"
+
+    def test_pages_padded_to_size(self):
+        with BlockStorage(page_size=32) as storage:
+            page = storage.allocate()
+            storage.write_page(page, b"x")
+            assert len(storage.read_page(page)) == 32
+
+    def test_oversized_write_rejected(self):
+        with BlockStorage(page_size=8) as storage:
+            page = storage.allocate()
+            with pytest.raises(ValueError, match="exceeds page size"):
+                storage.write_page(page, b"x" * 9)
+
+    def test_unallocated_page_rejected(self):
+        with BlockStorage() as storage:
+            with pytest.raises(IndexError):
+                storage.read_page(0)
+            with pytest.raises(IndexError):
+                storage.write_page(3, b"")
+
+    def test_lru_eviction_and_stats(self):
+        with BlockStorage(page_size=16, cache_pages=1) as storage:
+            p0, p1 = storage.allocate(), storage.allocate()
+            storage.write_page(p0, b"a")
+            storage.write_page(p1, b"b")  # evicts p0
+            storage.stats.reset()
+            storage.read_page(p1)
+            assert storage.stats.cache_hits == 1
+            storage.read_page(p0)
+            assert storage.stats.cache_misses == 1
+            assert storage.stats.page_reads == 1
+
+    def test_cache_disabled(self):
+        with BlockStorage(page_size=16, cache_pages=0) as storage:
+            page = storage.allocate()
+            storage.write_page(page, b"z")
+            storage.read_page(page)
+            storage.read_page(page)
+            assert storage.stats.page_reads == 2
+
+    def test_truncate_drops_everything(self):
+        with BlockStorage() as storage:
+            storage.allocate()
+            storage.truncate()
+            assert storage.num_pages == 0
+            with pytest.raises(IndexError):
+                storage.read_page(0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            g = random_graph(rng, rng.randrange(2, 9), 3, 5, 4)
+            back = deserialize_graph(serialize_graph(g))
+            assert back.vertex_labels() == g.vertex_labels()
+            assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_roundtrip_no_edges(self):
+        g = make_graph([3, 1, 4], [])
+        back = deserialize_graph(serialize_graph(g))
+        assert back.vertex_labels() == [3, 1, 4]
+        assert back.num_edges == 0
+
+
+class TestADIIndex:
+    def test_build_and_fetch(self, medium_db):
+        index = ADIIndex(BlockStorage(page_size=128))
+        index.build(medium_db)
+        assert len(index) == len(medium_db)
+        for gid, graph in medium_db:
+            fetched = index.fetch_graph(gid)
+            assert sorted(fetched.edges()) == sorted(graph.edges())
+
+    def test_multi_page_graphs(self):
+        rng = random.Random(6)
+        big = random_graph(rng, 40, 30)
+        db = GraphDatabase.from_graphs([big])
+        index = ADIIndex(BlockStorage(page_size=64))
+        index.build(db)
+        fetched = index.fetch_graph(0)
+        assert sorted(fetched.edges()) == sorted(big.edges())
+
+    def test_edge_table(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        index = ADIIndex()
+        index.build(db)
+        assert index.edge_support((0, 0, 0)) == 2
+        assert index.graphs_with_edge((0, 0, 0)) == {0, 1}
+        assert index.edge_support((9, 9, 9)) == 0
+
+    def test_unbuilt_access_raises(self):
+        index = ADIIndex()
+        with pytest.raises(RuntimeError, match="stale or unbuilt"):
+            index.gids()
+
+    def test_invalidate_forces_rebuild(self, medium_db):
+        index = ADIIndex()
+        index.build(medium_db)
+        index.invalidate()
+        with pytest.raises(RuntimeError):
+            index.fetch_graph(0)
+        index.build(medium_db)
+        assert index.build_count == 2
+
+
+class TestADIMiner:
+    def test_results_match_gspan(self, medium_db):
+        want = GSpanMiner().mine(medium_db, 3)
+        with ADIMiner(page_size=128, cache_pages=4) as miner:
+            got = miner.mine(medium_db, 3)
+        assert got.keys() == want.keys()
+        for p in got:
+            assert p.tids == want.get(p.key).tids
+
+    def test_index_built_once_for_static_db(self, medium_db):
+        with ADIMiner() as miner:
+            miner.mine(medium_db, 3)
+            miner.mine(medium_db, 2)
+            assert miner.stats.index_builds == 1
+
+    def test_update_forces_rebuild_and_remine(self, medium_db):
+        with ADIMiner() as miner:
+            miner.mine(medium_db, 3)
+            updated = medium_db.copy(deep=True)
+            updated[0].set_vertex_label(0, 99)
+            result = miner.mine_updated(updated, 3)
+            assert miner.stats.index_builds == 2
+            want = GSpanMiner().mine(updated, 3)
+            assert result.keys() == want.keys()
+
+    def test_io_stats_recorded(self, medium_db):
+        with ADIMiner(page_size=128, cache_pages=2) as miner:
+            miner.mine(medium_db, 3)
+            assert miner.stats.graph_fetches > 0
+            assert miner.stats.page_reads > 0

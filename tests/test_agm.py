@@ -1,0 +1,125 @@
+"""Tests for AGM-style induced subgraph mining."""
+
+import random
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import subgraph_exists
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.agm import (
+    AGMMiner,
+    InducedBruteForceMiner,
+    induced_pattern_key,
+    vertex_deletion_cores,
+)
+
+from .conftest import make_graph, path_graph, random_database, triangle
+
+
+class TestInducedSemantics:
+    def test_path_not_induced_in_triangle(self):
+        """The defining difference from monomorphism semantics."""
+        assert subgraph_exists(path_graph(3), triangle())
+        assert not subgraph_exists(path_graph(3), triangle(), induced=True)
+
+    def test_edge_induced_in_triangle(self):
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        assert subgraph_exists(edge, triangle(), induced=True)
+
+    def test_induced_self(self):
+        assert subgraph_exists(triangle(), triangle(), induced=True)
+
+    def test_induced_in_larger_host(self):
+        # Triangle with a pendant: the triangle IS induced, a 3-path is
+        # not (its endpoints close the triangle) unless it uses the
+        # pendant.
+        g = make_graph(
+            [0, 0, 0, 1],
+            [(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 0)],
+        )
+        assert subgraph_exists(triangle(), g, induced=True)
+        pendant_path = make_graph([0, 0, 1], [(0, 1, 0), (1, 2, 0)])
+        assert subgraph_exists(pendant_path, g, induced=True)
+
+
+class TestInducedKeys:
+    def test_single_vertex_key(self):
+        g = LabeledGraph()
+        g.add_vertex(7)
+        assert induced_pattern_key(g) == ("vertex", 7)
+
+    def test_larger_graphs_use_canonical_code(self):
+        assert induced_pattern_key(triangle()) == induced_pattern_key(
+            triangle()
+        )
+        assert induced_pattern_key(triangle()) != induced_pattern_key(
+            path_graph(3)
+        )
+
+
+class TestVertexDeletionCores:
+    def test_every_vertex_produces_a_core(self):
+        cores = vertex_deletion_cores(triangle(labels=(1, 2, 3)))
+        assert len(cores) == 3
+        assert {c.removed_label for c in cores} == {1, 2, 3}
+
+    def test_disconnected_core_allowed(self):
+        # Removing the center of a star disconnects the leaves.
+        g = make_graph([0, 1, 1], [(0, 1, 0), (0, 2, 0)])
+        cores = vertex_deletion_cores(g)
+        center_core = next(c for c in cores if c.removed_label == 0)
+        assert center_core.core.num_edges == 0
+        assert center_core.core.num_vertices == 2
+
+    def test_removed_edges_recorded(self):
+        g = path_graph(3)
+        cores = vertex_deletion_cores(g)
+        middle = next(c for c in cores if len(c.removed_edges) == 2)
+        assert middle.core.num_vertices == 2
+
+
+class TestAGMAgainstOracle:
+    def test_small_db(self, small_db):
+        for sup in (2, 3):
+            got = AGMMiner().mine(small_db, sup)
+            want = InducedBruteForceMiner().mine(small_db, sup)
+            assert got.keys() == want.keys()
+            for p in got:
+                assert p.tids == want.get(p.key).tids
+
+    def test_random_dbs(self):
+        rng = random.Random(80)
+        for seed in range(4):
+            db = random_database(
+                seed=seed + 500, num_graphs=8, n=6, extra_edges=1
+            )
+            sup = rng.choice([2, 3])
+            got = AGMMiner().mine(db, sup)
+            want = InducedBruteForceMiner().mine(db, sup)
+            assert got.keys() == want.keys(), (seed, sup)
+
+    def test_max_vertices_bound(self, medium_db):
+        got = AGMMiner(max_vertices=3).mine(medium_db, 3)
+        want = InducedBruteForceMiner(max_vertices=3).mine(medium_db, 3)
+        assert got.keys() == want.keys()
+        assert all(p.graph.num_vertices <= 3 for p in got)
+
+
+class TestInducedVsMonomorphic:
+    def test_triangle_heavy_database(self):
+        """Induced mining must NOT report the 3-path when every
+        occurrence closes into a triangle."""
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        agm = AGMMiner().mine(db, 2)
+        path_key = induced_pattern_key(path_graph(3))
+        assert path_key not in agm.keys()
+        assert induced_pattern_key(triangle()) in agm.keys()
+
+    def test_singleton_patterns_reported(self, small_db):
+        agm = AGMMiner().mine(small_db, 3)
+        assert any(p.graph.num_vertices == 1 for p in agm)
+
+    def test_stats(self, small_db):
+        miner = AGMMiner()
+        result = miner.mine(small_db, 2)
+        assert miner.stats.levels >= 2
+        assert miner.stats.patterns_found == len(result)

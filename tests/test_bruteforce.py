@@ -1,0 +1,62 @@
+"""Tests for the brute-force oracle miner."""
+
+from repro.graph.canonical import canonical_code
+from repro.graph.database import GraphDatabase
+from repro.mining.bruteforce import (
+    BruteForceMiner,
+    connected_edge_subgraph_codes,
+)
+
+from .conftest import make_graph, path_graph, triangle
+
+
+class TestEnumeration:
+    def test_triangle_subgraphs(self):
+        codes = connected_edge_subgraph_codes(triangle(labels=(0, 1, 2)))
+        # 3 single edges + 3 two-paths + 1 triangle = 7 distinct.
+        assert len(codes) == 7
+
+    def test_uniform_triangle_subgraphs(self):
+        codes = connected_edge_subgraph_codes(triangle())
+        # With uniform labels: 1 edge class, 1 path class, 1 triangle.
+        assert len(codes) == 3
+
+    def test_max_size_bound(self):
+        codes = connected_edge_subgraph_codes(triangle(), max_size=2)
+        assert all(
+            graph.num_edges <= 2 for graph in codes.values()
+        )
+        assert len(codes) == 2
+
+    def test_path_subgraph_count(self):
+        # Uniform path of 4 edges: distinct classes = paths of length 1..4.
+        codes = connected_edge_subgraph_codes(path_graph(5))
+        assert len(codes) == 4
+
+    def test_representatives_match_keys(self):
+        codes = connected_edge_subgraph_codes(triangle(labels=(0, 0, 1)))
+        for key, graph in codes.items():
+            assert canonical_code(graph) == key
+
+
+class TestMining:
+    def test_mine_small_db(self, small_db):
+        result = BruteForceMiner().mine(small_db, 3)
+        for p in result:
+            assert p.support >= 3
+        # the shared path 0-1-1 (labels) must be found
+        shared = make_graph([0, 1, 1], [(0, 1, 0), (1, 2, 1)])
+        assert canonical_code(shared) in result.keys()
+
+    def test_tid_lists(self, small_db):
+        result = BruteForceMiner().mine(small_db, 2)
+        for p in result:
+            assert len(p.tids) == p.support
+            assert p.tids <= {0, 1, 2}
+
+    def test_empty_database(self):
+        assert len(BruteForceMiner().mine(GraphDatabase(), 1)) == 0
+
+    def test_max_size(self, small_db):
+        bounded = BruteForceMiner(max_size=1).mine(small_db, 1)
+        assert all(p.size == 1 for p in bounded)

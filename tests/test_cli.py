@@ -1,0 +1,182 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import io as graph_io
+from repro.mining.store import read_patterns
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    path = tmp_path / "db.tve"
+    assert main(["generate", "D20T8N8L10I3", str(path), "--seed", "3"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_database(self, database_file):
+        db = graph_io.read_database(database_file)
+        assert len(db) == 20
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.tve", tmp_path / "b.tve"
+        main(["generate", "D10T6N6L8I3", str(a), "--seed", "5"])
+        main(["generate", "D10T6N6L8I3", str(b), "--seed", "5"])
+        assert a.read_text() == b.read_text()
+
+    def test_bad_spec(self, tmp_path, capsys):
+        with pytest.raises(ValueError):
+            main(["generate", "NOTASPEC", str(tmp_path / "x.tve")])
+
+
+class TestMine:
+    @pytest.mark.parametrize(
+        "algorithm", ["partminer", "gspan", "gaston", "adimine"]
+    )
+    def test_algorithms_run(self, database_file, capsys, algorithm):
+        assert main(
+            ["mine", str(database_file), "0.3", "--algorithm", algorithm]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frequent patterns" in out
+
+    def test_all_algorithms_agree(self, database_file, tmp_path):
+        keys = []
+        for algorithm in ("partminer", "gspan", "gaston"):
+            out = tmp_path / f"{algorithm}.jsonl"
+            main(
+                [
+                    "mine", str(database_file), "0.3",
+                    "--algorithm", algorithm,
+                    "--unit-support", "exact",
+                    "--output", str(out),
+                ]
+            )
+            patterns, meta = read_patterns(out)
+            assert meta["algorithm"] == algorithm
+            keys.append(patterns.keys())
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_absolute_support(self, database_file, capsys):
+        assert main(["mine", str(database_file), "5",
+                     "--algorithm", "gspan"]) == 0
+
+    def test_custom_lambdas(self, database_file, capsys):
+        assert main(
+            ["mine", str(database_file), "0.3", "--lambda1", "0",
+             "--lambda2", "1"]
+        ) == 0
+
+    def test_metis_flag(self, database_file, capsys):
+        assert main(["mine", str(database_file), "0.3", "--metis"]) == 0
+
+
+class TestPartition:
+    def test_reports_units(self, database_file, capsys):
+        assert main(["partition", str(database_file), "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "unit 0" in out and "unit 2" in out
+        assert "connective edges" in out
+
+    def test_writes_unit_files(self, database_file, tmp_path, capsys):
+        prefix = str(tmp_path / "unit")
+        assert main(
+            ["partition", str(database_file), "-k", "2",
+             "--output-prefix", prefix]
+        ) == 0
+        for i in range(2):
+            db = graph_io.read_database(f"{prefix}{i}.tve")
+            assert len(db) == 20
+
+
+class TestUpdate:
+    def test_applies_batch(self, database_file, tmp_path, capsys):
+        out = tmp_path / "updated.tve"
+        assert main(
+            ["update", str(database_file), str(out),
+             "--fraction", "0.5", "--kind", "structural", "--ops", "2"]
+        ) == 0
+        before = graph_io.read_database(database_file)
+        after = graph_io.read_database(out)
+        assert after.total_edges() > before.total_edges()
+
+
+class TestShowAndStats:
+    def test_show_graph(self, database_file, capsys):
+        assert main(["show", str(database_file), "--gid", "0"]) == 0
+        assert capsys.readouterr().out.startswith('graph "g0"')
+
+    def test_show_patterns(self, database_file, tmp_path, capsys):
+        pattern_file = tmp_path / "p.jsonl"
+        main(["mine", str(database_file), "0.3", "--algorithm", "gspan",
+              "--output", str(pattern_file)])
+        capsys.readouterr()
+        assert main(["show", str(pattern_file), "--patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "subgraph cluster_0" in out
+
+    def test_stats(self, database_file, capsys):
+        assert main(["stats", str(database_file)]) == 0
+        out = capsys.readouterr().out
+        assert "graphs:" in out
+        assert "most frequent 1-edge patterns:" in out
+
+
+class TestMatch:
+    def test_match_reports_coverage(self, database_file, tmp_path, capsys):
+        pattern_file = tmp_path / "p.jsonl"
+        main(["mine", str(database_file), "0.3", "--algorithm", "gspan",
+              "--output", str(pattern_file)])
+        capsys.readouterr()
+        assert main(["match", str(pattern_file), str(database_file)]) == 0
+        out = capsys.readouterr().out
+        assert "patterns occur in" in out
+        assert "coverage:" in out
+
+    def test_match_with_output(self, database_file, tmp_path, capsys):
+        pattern_file = tmp_path / "p.jsonl"
+        relocated_file = tmp_path / "relocated.jsonl"
+        main(["mine", str(database_file), "0.3", "--algorithm", "gspan",
+              "--output", str(pattern_file)])
+        assert main(
+            ["match", str(pattern_file), str(database_file),
+             "--min-support", "0.5", "--output", str(relocated_file)]
+        ) == 0
+        patterns, meta = read_patterns(relocated_file)
+        assert meta["relocated_from"] == str(pattern_file)
+        threshold = 10  # 0.5 of 20 graphs
+        assert all(p.support >= threshold for p in patterns)
+
+    def test_match_induced_flag(self, database_file, tmp_path, capsys):
+        pattern_file = tmp_path / "p.jsonl"
+        main(["mine", str(database_file), "0.3", "--algorithm", "gspan",
+              "--output", str(pattern_file)])
+        assert main(
+            ["match", str(pattern_file), str(database_file), "--induced"]
+        ) == 0
+
+
+class TestErrorPaths:
+    def test_mine_missing_database(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["mine", str(tmp_path / "nope.tve"), "0.3"])
+
+    def test_match_missing_patterns(self, database_file, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["match", str(tmp_path / "nope.jsonl"),
+                  str(database_file)])
+
+    def test_update_invalid_kind(self, database_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["update", str(database_file),
+                  str(tmp_path / "o.tve"), "--kind", "bogus"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_mine_invalid_unit_support(self, database_file):
+        with pytest.raises(ValueError, match="unit_support"):
+            main(["mine", str(database_file), "0.3",
+                  "--unit-support", "bogus"])

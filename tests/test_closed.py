@@ -1,0 +1,89 @@
+"""Tests for closed/maximal pattern post-processing."""
+
+from repro.graph.canonical import canonical_code
+from repro.graph.database import GraphDatabase
+from repro.mining.closed import (
+    closed_patterns,
+    compression_ratio,
+    maximal_patterns,
+)
+from repro.mining.gspan import GSpanMiner
+from repro.mining.base import PatternSet
+from repro.graph.isomorphism import subgraph_exists
+
+from .conftest import path_graph, random_database, triangle
+
+
+class TestOnKnownDatabase:
+    def mine(self):
+        db = GraphDatabase.from_graphs(
+            [triangle(), triangle(), path_graph(3)]
+        )
+        return GSpanMiner().mine(db, 2)
+
+    def test_closed_drops_absorbed_patterns(self):
+        patterns = self.mine()
+        closed = closed_patterns(patterns)
+        # The single edge appears in 3 graphs; the 2-path in 3 too; the
+        # triangle only in 2.  Edge (support 3) is NOT closed (2-path has
+        # the same support); 2-path and triangle are closed.
+        assert canonical_code(path_graph(3)) in closed.keys()
+        assert canonical_code(triangle()) in closed.keys()
+        edge_key = canonical_code(path_graph(2))
+        assert edge_key not in closed.keys()
+
+    def test_maximal_is_only_triangle(self):
+        patterns = self.mine()
+        maximal = maximal_patterns(patterns)
+        assert maximal.keys() == {canonical_code(triangle())}
+
+    def test_maximal_subset_of_closed(self):
+        patterns = self.mine()
+        assert maximal_patterns(patterns).keys() <= closed_patterns(
+            patterns
+        ).keys()
+
+
+class TestSemantics:
+    def test_closed_definition_holds(self, medium_db):
+        patterns = GSpanMiner().mine(medium_db, 3)
+        closed = closed_patterns(patterns)
+        for p in closed:
+            for q in patterns:
+                if q.size <= p.size or q.support != p.support:
+                    continue
+                assert not subgraph_exists(p.graph, q.graph), (
+                    "closed pattern has an equal-support supergraph"
+                )
+
+    def test_maximal_definition_holds(self, medium_db):
+        patterns = GSpanMiner().mine(medium_db, 3)
+        maximal = maximal_patterns(patterns)
+        for p in maximal:
+            for q in patterns:
+                if q.size <= p.size:
+                    continue
+                assert not subgraph_exists(p.graph, q.graph)
+
+    def test_every_pattern_has_closed_supergraph_with_same_support(
+        self, medium_db
+    ):
+        """Closed sets are lossless: supports are recoverable."""
+        patterns = GSpanMiner().mine(medium_db, 3)
+        closed = closed_patterns(patterns)
+        for p in patterns:
+            witnesses = [
+                q
+                for q in closed
+                if q.size >= p.size
+                and q.support == p.support
+                and subgraph_exists(p.graph, q.graph)
+            ]
+            assert witnesses, f"no closed witness for {p}"
+
+    def test_compression_ratio(self, medium_db):
+        patterns = GSpanMiner().mine(medium_db, 3)
+        maximal = maximal_patterns(patterns)
+        ratio = compression_ratio(patterns, maximal)
+        assert 0.0 <= ratio < 1.0
+        assert compression_ratio(PatternSet(), PatternSet()) == 0.0

@@ -1,0 +1,127 @@
+"""Tests for constraint-based mining."""
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.constraints import (
+    Acyclic,
+    AllowedEdgeLabels,
+    AllowedVertexLabels,
+    ConstrainedMiner,
+    MaxDegree,
+    MaxEdges,
+    MaxVertices,
+    MinEdges,
+    MinVertices,
+    RequiresEdgeLabel,
+    RequiresVertexLabel,
+)
+from repro.mining.gspan import GSpanMiner
+
+from .conftest import path_graph, random_database, star_graph, triangle
+
+
+class TestIndividualConstraints:
+    def test_max_edges(self):
+        assert MaxEdges(3).allows(triangle())
+        assert not MaxEdges(2).allows(triangle())
+        assert MaxEdges(2).anti_monotone
+
+    def test_max_vertices(self):
+        assert MaxVertices(3).allows(triangle())
+        assert not MaxVertices(2).allows(triangle())
+
+    def test_min_edges_and_vertices(self):
+        assert MinEdges(3).allows(triangle())
+        assert not MinEdges(4).allows(triangle())
+        assert MinVertices(3).allows(triangle())
+        assert not MinEdges(1).anti_monotone
+
+    def test_allowed_vertex_labels(self):
+        constraint = AllowedVertexLabels({0, 1})
+        assert constraint.allows(triangle(labels=(0, 1, 0)))
+        assert not constraint.allows(triangle(labels=(0, 2, 0)))
+
+    def test_allowed_edge_labels(self):
+        constraint = AllowedEdgeLabels({"x"})
+        g = LabeledGraph.from_vertices_and_edges([0, 0], [(0, 1, "x")])
+        assert constraint.allows(g)
+        h = LabeledGraph.from_vertices_and_edges([0, 0], [(0, 1, "y")])
+        assert not constraint.allows(h)
+
+    def test_max_degree(self):
+        assert MaxDegree(2).allows(path_graph(4))
+        assert not MaxDegree(2).allows(star_graph(3))
+
+    def test_acyclic(self):
+        assert Acyclic().allows(path_graph(4))
+        assert Acyclic().allows(star_graph(3))
+        assert not Acyclic().allows(triangle())
+
+    def test_requires_labels(self):
+        assert RequiresVertexLabel(1).allows(star_graph(3, leaf_label=1))
+        assert not RequiresVertexLabel(9).allows(triangle())
+        g = LabeledGraph.from_vertices_and_edges([0, 0], [(0, 1, "z")])
+        assert RequiresEdgeLabel("z").allows(g)
+        assert not RequiresEdgeLabel("w").allows(g)
+
+
+class TestConstrainedMiner:
+    def full(self, db, sup=3):
+        return GSpanMiner().mine(db, sup)
+
+    @pytest.mark.parametrize(
+        "constraints",
+        [
+            [MaxEdges(2)],
+            [MaxVertices(3)],
+            [Acyclic()],
+            [MaxDegree(2)],
+            [MinEdges(2)],
+            [MaxEdges(3), MinEdges(2)],
+            [AllowedVertexLabels({0, 1})],
+            [RequiresVertexLabel(0)],
+            [Acyclic(), MaxDegree(2), MinVertices(3)],
+        ],
+    )
+    def test_pushdown_equals_filtering(self, constraints):
+        """Anti-monotone pruning must be a pure optimization."""
+        db = random_database(seed=1300, num_graphs=10, n=7, extra_edges=2)
+        constrained = ConstrainedMiner(constraints).mine(db, 3)
+        reference = {
+            p.key
+            for p in self.full(db)
+            if all(c.allows(p.graph) for c in constraints)
+        }
+        assert constrained.keys() == reference
+
+    def test_supports_preserved(self):
+        db = random_database(seed=1301, num_graphs=10, n=6)
+        constrained = ConstrainedMiner([MaxEdges(2)]).mine(db, 3)
+        full = self.full(db)
+        for p in constrained:
+            assert p.tids == full.get(p.key).tids
+
+    def test_no_constraints_is_plain_mining(self):
+        db = random_database(seed=1302, num_graphs=8, n=6)
+        assert (
+            ConstrainedMiner([]).mine(db, 3).keys()
+            == self.full(db).keys()
+        )
+
+    def test_pruning_reduces_work(self):
+        """MaxEdges pushdown must visit fewer candidates than full mining."""
+        db = random_database(seed=1303, num_graphs=10, n=7, extra_edges=2)
+        plain = GSpanMiner()
+        plain.mine(db, 2)
+        constrained = GSpanMiner(
+            growth_filter=MaxEdges(2).allows
+        )
+        constrained.mine(db, 2)
+        assert (
+            constrained.stats.candidates_generated
+            <= plain.stats.candidates_generated
+        )
+        assert (
+            constrained.stats.patterns_found < plain.stats.patterns_found
+        )

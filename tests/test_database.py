@@ -1,0 +1,110 @@
+"""Unit tests for GraphDatabase."""
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import LabeledGraph
+
+from .conftest import make_graph, path_graph, triangle
+
+
+class TestConstruction:
+    def test_from_graphs_assigns_sequential_gids(self):
+        db = GraphDatabase.from_graphs([triangle(), path_graph(3)])
+        assert db.gids() == [0, 1]
+        assert db[0].num_edges == 3
+        assert db[1].num_edges == 2
+
+    def test_duplicate_gid_rejected(self):
+        db = GraphDatabase([(5, triangle())])
+        with pytest.raises(ValueError, match="duplicate"):
+            db.add(5, path_graph(2))
+
+    def test_replace_requires_existing(self):
+        db = GraphDatabase()
+        with pytest.raises(KeyError):
+            db.replace(0, triangle())
+        db.add(0, triangle())
+        db.replace(0, path_graph(2))
+        assert db[0].num_edges == 1
+
+    def test_deep_copy_is_independent(self):
+        db = GraphDatabase.from_graphs([path_graph(3)])
+        clone = db.copy(deep=True)
+        clone[0].set_vertex_label(0, 99)
+        assert db[0].vertex_label(0) == 0
+
+    def test_shallow_copy_shares_graphs(self):
+        db = GraphDatabase.from_graphs([path_graph(3)])
+        clone = db.copy(deep=False)
+        clone[0].set_vertex_label(0, 99)
+        assert db[0].vertex_label(0) == 99
+
+
+class TestAccess:
+    def test_len_and_contains(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        assert len(db) == 2
+        assert 1 in db
+        assert 7 not in db
+
+    def test_iteration_yields_pairs(self):
+        db = GraphDatabase.from_graphs([triangle()])
+        pairs = list(db)
+        assert pairs[0][0] == 0
+        assert pairs[0][1].num_edges == 3
+
+
+class TestStatistics:
+    def test_totals_and_average(self):
+        db = GraphDatabase.from_graphs([triangle(), path_graph(3)])
+        assert db.total_edges() == 5
+        assert db.total_vertices() == 6
+        assert db.average_size() == 2.5
+
+    def test_average_size_empty(self):
+        assert GraphDatabase().average_size() == 0.0
+
+    def test_vertex_label_support_counts_graphs_not_occurrences(self):
+        g = make_graph([7, 7, 8], [(0, 1, 0), (1, 2, 0)])
+        db = GraphDatabase.from_graphs([g, triangle()])
+        support = db.vertex_label_support()
+        assert support[7] == 1  # label 7 appears twice but in one graph
+        assert support[0] == 1
+        assert support[8] == 1
+
+    def test_edge_triple_support_normalizes_orientation(self):
+        g1 = make_graph([1, 2], [(0, 1, 5)])
+        g2 = make_graph([2, 1], [(0, 1, 5)])
+        db = GraphDatabase.from_graphs([g1, g2])
+        support = db.edge_triple_support()
+        assert support == {(1, 5, 2): 2}
+
+    def test_filter(self):
+        db = GraphDatabase.from_graphs([triangle(), path_graph(2)])
+        big = db.filter(lambda gid, g: g.num_edges >= 2)
+        assert len(big) == 1
+        assert 0 in big
+
+
+class TestAbsoluteSupport:
+    def test_fraction(self):
+        db = GraphDatabase.from_graphs([triangle()] * 10)
+        assert db.absolute_support(0.25) == 3  # ceil(2.5)
+        assert db.absolute_support(1.0) == 10
+
+    def test_absolute_count_passthrough(self):
+        db = GraphDatabase.from_graphs([triangle()] * 10)
+        assert db.absolute_support(4) == 4
+        assert db.absolute_support(7.0) == 7
+
+    def test_minimum_is_one(self):
+        db = GraphDatabase.from_graphs([triangle()] * 3)
+        assert db.absolute_support(0.0001) == 1
+
+    def test_nonpositive_rejected(self):
+        db = GraphDatabase.from_graphs([triangle()])
+        with pytest.raises(ValueError):
+            db.absolute_support(0)
+        with pytest.raises(ValueError):
+            db.absolute_support(-2)

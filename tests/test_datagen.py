@@ -1,0 +1,114 @@
+"""Tests for the synthetic data generator (Table 1 parameters)."""
+
+import random
+
+import pytest
+
+from repro.datagen.kernels import generate_kernels, random_connected_graph
+from repro.datagen.synthetic import (
+    DatasetSpec,
+    SyntheticGenerator,
+    generate_dataset,
+)
+from repro.graph.isomorphism import subgraph_exists
+from repro.mining.gspan import GSpanMiner
+
+
+class TestRandomConnectedGraph:
+    def test_exact_edge_count(self):
+        rng = random.Random(1)
+        for m in (1, 3, 7, 15):
+            g = random_connected_graph(m, 4, rng)
+            assert g.num_edges == m
+            assert g.is_connected()
+
+    def test_labels_in_range(self):
+        rng = random.Random(2)
+        g = random_connected_graph(10, 3, rng)
+        assert all(0 <= g.vertex_label(v) < 3 for v in g.vertices())
+        assert all(0 <= label < 3 for _, _, label in g.edges())
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(0, 3, random.Random(0))
+
+
+class TestGenerateKernels:
+    def test_count_and_connectivity(self):
+        rng = random.Random(3)
+        kernels = generate_kernels(20, 5.0, 4, rng)
+        assert len(kernels) == 20
+        assert all(k.is_connected() for k in kernels)
+        assert all(k.num_edges >= 1 for k in kernels)
+
+    def test_average_size_near_target(self):
+        rng = random.Random(4)
+        kernels = generate_kernels(200, 5.0, 4, rng)
+        avg = sum(k.num_edges for k in kernels) / len(kernels)
+        assert 4.0 <= avg <= 6.0
+
+
+class TestDatasetSpec:
+    def test_name_roundtrip(self):
+        spec = DatasetSpec(200, 12, 20, 40, 5)
+        assert spec.name == "D200T12N20L40I5"
+        assert DatasetSpec.from_name(spec.name) == spec
+
+    def test_k_suffix(self):
+        spec = DatasetSpec.from_name("D50kT20N20L200I5")
+        assert spec.num_graphs == 50000
+        assert spec.avg_edges == 20
+        assert spec.num_kernels == 200
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            DatasetSpec.from_name("garbage")
+
+    def test_scaled(self):
+        spec = DatasetSpec.from_name("D50kT20N20L200I5")
+        small = spec.scaled(num_graphs=100)
+        assert small.num_graphs == 100
+        assert small.avg_edges == 20
+
+
+class TestSyntheticGenerator:
+    def test_database_shape(self):
+        db = generate_dataset("D50T8N10L15I4", seed=3)
+        assert len(db) == 50
+        assert 5 <= db.average_size() <= 12
+
+    def test_deterministic_by_seed(self):
+        a = generate_dataset("D20T8N10L15I4", seed=9)
+        b = generate_dataset("D20T8N10L15I4", seed=9)
+        for (gid_a, ga), (gid_b, gb) in zip(a, b):
+            assert sorted(ga.edges()) == sorted(gb.edges())
+            assert ga.vertex_labels() == gb.vertex_labels()
+
+    def test_seeds_differ(self):
+        a = generate_dataset("D20T8N10L15I4", seed=1)
+        b = generate_dataset("D20T8N10L15I4", seed=2)
+        assert any(
+            sorted(a[g].edges()) != sorted(b[g].edges()) for g in a.gids()
+        )
+
+    def test_graphs_are_connected(self):
+        db = generate_dataset("D30T10N10L15I4", seed=5)
+        assert all(g.is_connected() for g in db.graphs())
+
+    def test_kernels_recur(self):
+        """Popular kernels should appear in many graphs — that is the point
+        of the generator (they become the frequent patterns)."""
+        gen = SyntheticGenerator(DatasetSpec(40, 10, 8, 10, 3, seed=7))
+        db = gen.generate()
+        best = 0
+        for kernel in gen.kernels:
+            hits = sum(
+                1 for g in db.graphs() if subgraph_exists(kernel, g)
+            )
+            best = max(best, hits)
+        assert best >= len(db) * 0.2
+
+    def test_mining_finds_nontrivial_patterns(self):
+        db = generate_dataset("D40T10N8L10I4", seed=11)
+        result = GSpanMiner(max_size=4).mine(db, 0.25)
+        assert result.max_size() >= 2

@@ -1,0 +1,74 @@
+"""Tests for Graphviz DOT export."""
+
+import io
+
+from repro.graph.dot import graph_to_dot, patterns_to_dot, write_dot
+from repro.mining.base import Pattern, PatternSet
+
+from .conftest import make_graph, path_graph, triangle
+
+
+class TestGraphToDot:
+    def test_basic_structure(self):
+        dot = graph_to_dot(triangle(labels=(1, 2, 3)), name="tri")
+        assert dot.startswith('graph "tri" {')
+        assert dot.rstrip().endswith("}")
+        assert '0 [label="1"];' in dot
+        assert "0 -- 1" in dot
+        assert dot.count("--") == 3
+
+    def test_highlighted_edges(self):
+        dot = graph_to_dot(path_graph(3), highlight_edges=[(1, 0)])
+        lines = [l for l in dot.splitlines() if "--" in l]
+        assert any("red" in l for l in lines)
+        assert sum("red" in l for l in lines) == 1
+
+    def test_label_escaping(self):
+        g = make_graph(['say "hi"', "b\\c"], [(0, 1, "e")])
+        dot = graph_to_dot(g)
+        assert '\\"hi\\"' in dot
+        assert "b\\\\c" in dot
+
+
+class TestPatternsToDot:
+    def build(self):
+        return PatternSet(
+            [
+                Pattern.from_graph(triangle(), [0, 1]),
+                Pattern.from_graph(path_graph(3), [0, 1, 2]),
+            ]
+        )
+
+    def test_clusters_per_pattern(self):
+        dot = patterns_to_dot(self.build())
+        assert dot.count("subgraph cluster_") == 2
+        assert 'label="support=2"' in dot
+        assert 'label="support=3"' in dot
+
+    def test_max_patterns(self):
+        dot = patterns_to_dot(self.build(), max_patterns=1)
+        assert dot.count("subgraph cluster_") == 1
+        # Ordered by size desc: the triangle (3 edges) wins.
+        assert 'label="support=2"' in dot
+
+    def test_node_ids_unique_across_clusters(self):
+        dot = patterns_to_dot(self.build())
+        node_lines = [
+            l.strip()
+            for l in dot.splitlines()
+            if l.strip().startswith("n") and "--" not in l
+        ]
+        ids = [l.split()[0] for l in node_lines if "[label=" in l]
+        assert len(ids) == len(set(ids))
+
+
+class TestWriteDot:
+    def test_appends_newline(self):
+        buffer = io.StringIO()
+        write_dot("graph g {}", buffer)
+        assert buffer.getvalue().endswith("}\n")
+
+    def test_no_double_newline(self):
+        buffer = io.StringIO()
+        write_dot("graph g {}\n", buffer)
+        assert buffer.getvalue() == "graph g {}\n"

@@ -1,0 +1,69 @@
+"""Tests for frequent 1-edge pattern discovery."""
+
+from repro.graph.database import GraphDatabase
+from repro.mining.edges import (
+    frequent_edge_patterns,
+    frequent_edges,
+    normalize_triple,
+)
+
+from .conftest import make_graph, triangle
+
+
+class TestNormalizeTriple:
+    def test_orders_vertex_labels(self):
+        assert normalize_triple(2, 5, 1) == (1, 5, 2)
+        assert normalize_triple(1, 5, 2) == (1, 5, 2)
+
+    def test_equal_labels(self):
+        assert normalize_triple(3, 0, 3) == (3, 0, 3)
+
+
+class TestFrequentEdges:
+    def test_support_counts_graphs(self):
+        db = GraphDatabase.from_graphs(
+            [triangle(), triangle(), make_graph([5, 5], [(0, 1, 9)])]
+        )
+        result = frequent_edges(db, threshold=2)
+        assert len(result) == 1
+        assert result[0].triple == (0, 0, 0)
+        assert result[0].support == 2
+        assert result[0].tids == {0, 1}
+
+    def test_threshold_one_keeps_all(self):
+        db = GraphDatabase.from_graphs(
+            [triangle(), make_graph([5, 5], [(0, 1, 9)])]
+        )
+        assert len(frequent_edges(db, 1)) == 2
+
+    def test_sorted_by_triple(self):
+        g = make_graph([0, 1, 2], [(0, 1, 0), (1, 2, 0), (0, 2, 0)])
+        db = GraphDatabase.from_graphs([g])
+        triples = [fe.triple for fe in frequent_edges(db, 1)]
+        assert triples == sorted(triples)
+
+    def test_duplicate_edges_in_one_graph_count_once(self):
+        g = make_graph([0, 0, 0], [(0, 1, 7), (1, 2, 7)])
+        db = GraphDatabase.from_graphs([g])
+        result = frequent_edges(db, 1)
+        assert result[0].support == 1
+
+    def test_to_graph_and_pattern(self):
+        db = GraphDatabase.from_graphs([make_graph([1, 2], [(0, 1, 3)])])
+        fe = frequent_edges(db, 1)[0]
+        g = fe.to_graph()
+        assert g.num_edges == 1
+        assert sorted([g.vertex_label(0), g.vertex_label(1)]) == [1, 2]
+        p = fe.to_pattern()
+        assert p.support == 1
+        assert p.size == 1
+
+
+class TestFrequentEdgePatterns:
+    def test_pattern_set_shape(self, small_db):
+        ps = frequent_edge_patterns(small_db, 2)
+        assert all(p.size == 1 for p in ps)
+        # (0)-0-(1) and (1)-1-(1) appear in all three graphs.
+        assert len(ps) >= 2
+        for p in ps:
+            assert p.support >= 2

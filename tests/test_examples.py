@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "frequent patterns" in out
+        assert "recall=1.000" in out
+
+    def test_chemical_fragments(self):
+        out = run_example("chemical_fragments.py")
+        assert "carboxyl group" in out
+        assert "acetic acid" in out
+
+    def test_spatiotemporal_updates(self):
+        out = run_example("spatiotemporal_updates.py")
+        assert "epoch 0" in out
+        assert "IncPartMiner:" in out
+        assert "recall vs exact: 1.000" in out
+
+    def test_parallel_units(self):
+        out = run_example("parallel_units.py")
+        assert "process-pool mining" in out
+        assert "recall vs direct mining: 1.000" in out
+
+    def test_disk_based_mining(self):
+        out = run_example("disk_based_mining.py")
+        assert "page reads" in out
+        assert "index builds: 2" in out
+
+    def test_pattern_warehouse(self):
+        out = run_example("pattern_warehouse.py")
+        assert "validation: OK" in out
+        assert "maximal" in out
+
+    def test_pattern_explorer(self):
+        out = run_example("pattern_explorer.py")
+        assert "pattern team" in out
+        assert "journal replay verified" in out
+        assert "month 1 -> month 2" in out
+
+    def test_every_example_file_is_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "chemical_fragments.py",
+            "spatiotemporal_updates.py",
+            "parallel_units.py",
+            "disk_based_mining.py",
+            "pattern_warehouse.py",
+            "pattern_explorer.py",
+        }
+        assert scripts == covered, "new example missing a smoke test"

@@ -1,0 +1,86 @@
+"""Tests for the Gaston-style miner."""
+
+import random
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import count_support
+from repro.mining.gaston import GastonMiner, PatternClass, classify
+from repro.mining.gspan import GSpanMiner
+
+from .conftest import make_graph, path_graph, random_database, star_graph, triangle
+
+
+class TestClassify:
+    def test_single_edge_is_path(self):
+        assert classify(path_graph(2)) is PatternClass.PATH
+
+    def test_long_path(self):
+        assert classify(path_graph(6)) is PatternClass.PATH
+
+    def test_star_is_tree(self):
+        assert classify(star_graph(3)) is PatternClass.TREE
+
+    def test_triangle_is_cyclic(self):
+        assert classify(triangle()) is PatternClass.CYCLIC
+
+    def test_tree_with_long_legs(self):
+        g = make_graph(
+            [0] * 5, [(0, 1, 0), (1, 2, 0), (1, 3, 0), (3, 4, 0)]
+        )
+        assert classify(g) is PatternClass.TREE
+
+    def test_square_is_cyclic(self):
+        g = make_graph([0] * 4, [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)])
+        assert classify(g) is PatternClass.CYCLIC
+
+
+class TestAgainstGSpan:
+    """Gaston and gSpan must produce identical results."""
+
+    def test_small_db(self, small_db):
+        for sup in (1, 2, 3):
+            assert (
+                GastonMiner().mine(small_db, sup).keys()
+                == GSpanMiner().mine(small_db, sup).keys()
+            )
+
+    def test_random_dbs_with_tids(self):
+        rng = random.Random(66)
+        for seed in range(5):
+            db = random_database(seed=seed + 100, num_graphs=9, n=7)
+            sup = rng.choice([2, 3])
+            gaston = GastonMiner().mine(db, sup)
+            gspan = GSpanMiner().mine(db, sup)
+            assert gaston.keys() == gspan.keys()
+            for p in gaston:
+                assert p.tids == gspan.get(p.key).tids
+
+    def test_max_size_agreement(self, medium_db):
+        assert (
+            GastonMiner(max_size=3).mine(medium_db, 3).keys()
+            == GSpanMiner(max_size=3).mine(medium_db, 3).keys()
+        )
+
+
+class TestPhases:
+    def test_cyclic_patterns_found(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        result = GastonMiner().mine(db, 2)
+        assert any(classify(p.graph) is PatternClass.CYCLIC for p in result)
+
+    def test_tree_patterns_found(self):
+        db = GraphDatabase.from_graphs([star_graph(3), star_graph(4)])
+        result = GastonMiner().mine(db, 2)
+        trees = [p for p in result if classify(p.graph) is PatternClass.TREE]
+        assert trees  # the 3-star itself
+
+    def test_supports_exact(self, medium_db):
+        for p in GastonMiner().mine(medium_db, 3):
+            support, tids = count_support(p.graph, medium_db)
+            assert (p.support, p.tids) == (support, tids)
+
+    def test_stats_counters(self, medium_db):
+        miner = GastonMiner()
+        result = miner.mine(medium_db, 3)
+        assert miner.stats.patterns_found == len(result)
+        assert miner.stats.duplicate_codes_pruned >= 0

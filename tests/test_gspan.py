@@ -1,0 +1,126 @@
+"""Tests for the gSpan miner."""
+
+import random
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import count_support
+from repro.mining.bruteforce import BruteForceMiner
+from repro.mining.gspan import GSpanMiner
+
+from .conftest import make_graph, path_graph, random_database, triangle
+
+
+class TestBasics:
+    def test_single_graph_all_patterns(self):
+        db = GraphDatabase.from_graphs([triangle(labels=(0, 1, 2))])
+        result = GSpanMiner().mine(db, 1)
+        # Triangle with distinct labels: 3 edges, 3 2-paths, 1 triangle.
+        assert len(result.of_size(1)) == 3
+        assert len(result.of_size(2)) == 3
+        assert len(result.of_size(3)) == 1
+
+    def test_threshold_filters(self, small_db):
+        all_patterns = GSpanMiner().mine(small_db, 1)
+        frequent = GSpanMiner().mine(small_db, 3)
+        assert len(frequent) < len(all_patterns)
+        assert frequent.keys() <= all_patterns.keys()
+        for p in frequent:
+            assert p.support >= 3
+
+    def test_fractional_support(self, small_db):
+        by_count = GSpanMiner().mine(small_db, 2)
+        by_fraction = GSpanMiner().mine(small_db, 2 / 3)
+        assert by_count.keys() == by_fraction.keys()
+
+    def test_max_size_bound(self, medium_db):
+        bounded = GSpanMiner(max_size=2).mine(medium_db, 2)
+        assert bounded.max_size() <= 2
+        unbounded = GSpanMiner().mine(medium_db, 2)
+        assert bounded.keys() == {
+            p.key for p in unbounded if p.size <= 2
+        }
+
+    def test_empty_database(self):
+        result = GSpanMiner().mine(GraphDatabase(), 1)
+        assert len(result) == 0
+
+    def test_no_frequent_edges(self):
+        db = GraphDatabase.from_graphs(
+            [make_graph([0, 0], [(0, 1, 0)]), make_graph([1, 1], [(0, 1, 1)])]
+        )
+        assert len(GSpanMiner().mine(db, 2)) == 0
+
+
+class TestCorrectness:
+    def test_supports_are_exact(self, medium_db):
+        result = GSpanMiner().mine(medium_db, 3)
+        for p in result:
+            support, tids = count_support(p.graph, medium_db)
+            assert p.support == support
+            assert p.tids == tids
+
+    def test_patterns_are_connected(self, medium_db):
+        for p in GSpanMiner().mine(medium_db, 2):
+            assert p.graph.is_connected()
+
+    def test_apriori_downward_closure(self, medium_db):
+        """Every subpattern of a frequent pattern is frequent (Theorem 2)."""
+        from repro.graph.canonical import canonical_code
+
+        result = GSpanMiner().mine(medium_db, 3)
+        keys = result.keys()
+        for p in result:
+            if p.size < 2:
+                continue
+            for u, v, _ in list(p.graph.edges()):
+                work = p.graph.copy()
+                work.remove_edge(u, v)
+                keep = [w for w in work.vertices() if work.degree(w) > 0]
+                sub = work.induced_subgraph(keep)
+                if sub.num_edges and sub.is_connected():
+                    assert canonical_code(sub) in keys
+
+    def test_matches_bruteforce_on_random_dbs(self):
+        rng = random.Random(55)
+        for seed in range(6):
+            db = random_database(seed=seed, num_graphs=8, n=6, extra_edges=1)
+            sup = rng.choice([2, 3])
+            got = GSpanMiner().mine(db, sup)
+            want = BruteForceMiner().mine(db, sup)
+            assert got.keys() == want.keys()
+            for p in got:
+                assert p.tids == want.get(p.key).tids
+
+
+class TestStats:
+    def test_stats_populated(self, medium_db):
+        miner = GSpanMiner()
+        result = miner.mine(medium_db, 3)
+        assert miner.stats.patterns_found == len(result)
+        assert miner.stats.candidates_generated >= 0
+
+    def test_stats_reset_between_runs(self, medium_db):
+        miner = GSpanMiner()
+        miner.mine(medium_db, 3)
+        first = miner.stats.patterns_found
+        miner.mine(medium_db, 3)
+        assert miner.stats.patterns_found == first
+
+
+class TestDuplicateElimination:
+    def test_symmetric_graph_counted_once(self):
+        # A square has many automorphisms; each pattern must appear once.
+        square = make_graph(
+            [0] * 4, [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]
+        )
+        db = GraphDatabase.from_graphs([square, square.copy()])
+        result = GSpanMiner().mine(db, 2)
+        sizes = sorted(p.size for p in result)
+        # edge, 2-path, 3-path, square
+        assert sizes == [1, 2, 3, 4]
+
+    def test_path_database(self):
+        db = GraphDatabase.from_graphs([path_graph(5), path_graph(4)])
+        result = GSpanMiner().mine(db, 2)
+        # Frequent: paths of length 1..3 (all same labels).
+        assert sorted(p.size for p in result) == [1, 2, 3]

@@ -1,0 +1,184 @@
+"""Tests for IncPartMiner (paper Fig 12)."""
+
+import pytest
+
+from repro.core.incremental import IncrementalPartMiner
+from repro.mining.gspan import GSpanMiner
+from repro.updates.generator import UpdateGenerator
+from repro.updates.model import AddEdge, RelabelVertex
+from repro.updates.tracker import hot_vertex_assignment
+
+from .conftest import random_database
+
+
+def build(db, sup=3, **kw):
+    ufreq = hot_vertex_assignment(db, hot_fraction=0.25, seed=1)
+    inc = IncrementalPartMiner(**kw)
+    inc.initial_mine(db, sup, ufreq=ufreq)
+    return inc
+
+
+class TestLifecycle:
+    def test_requires_initial_mine(self):
+        inc = IncrementalPartMiner()
+        with pytest.raises(RuntimeError, match="initial_mine"):
+            inc.apply_updates([])
+        with pytest.raises(RuntimeError):
+            _ = inc.database
+        with pytest.raises(RuntimeError):
+            _ = inc.current_patterns
+
+    def test_initial_matches_partminer(self):
+        db = random_database(seed=600, num_graphs=10, n=6)
+        inc = build(db, k=2, unit_support="exact")
+        truth = GSpanMiner().mine(db, 3)
+        assert inc.current_patterns.keys() == truth.keys()
+
+    def test_owns_database_copy(self):
+        db = random_database(seed=601, num_graphs=6, n=5)
+        inc = build(db, k=2)
+        inc.database[0].set_vertex_label(0, 99)
+        assert db[0].vertex_label(0) != 99
+
+
+class TestExactIncrementalEquality:
+    """Exact mode must equal a full re-mine after every batch."""
+
+    @pytest.mark.parametrize("kind", ["relabel", "structural", "mixed"])
+    def test_single_batch(self, kind):
+        db = random_database(seed=602, num_graphs=10, n=6)
+        inc = build(db, k=2, unit_support="exact", recheck_known=True)
+        gen = UpdateGenerator(3, 2, seed=5)
+        updates = gen.generate(inc.database, inc.ufreq, 0.4, 2, kind)
+        result = inc.apply_updates(updates)
+        truth = GSpanMiner().mine(inc.database, 3)
+        assert result.patterns.keys() == truth.keys()
+        for p in result.patterns:
+            assert p.tids == truth.get(p.key).tids
+
+    def test_multiple_batches(self):
+        db = random_database(seed=603, num_graphs=10, n=6)
+        inc = build(db, k=2, unit_support="exact", recheck_known=True)
+        gen = UpdateGenerator(3, 2, seed=6)
+        for _ in range(3):
+            updates = gen.generate(inc.database, inc.ufreq, 0.3, 2, "mixed")
+            result = inc.apply_updates(updates)
+            truth = GSpanMiner().mine(inc.database, 3)
+            assert result.patterns.keys() == truth.keys()
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_other_unit_counts(self, k):
+        db = random_database(seed=604, num_graphs=10, n=6)
+        inc = build(db, k=k, unit_support="exact", recheck_known=True)
+        gen = UpdateGenerator(3, 2, seed=7)
+        updates = gen.generate(inc.database, inc.ufreq, 0.4, 2, "mixed")
+        result = inc.apply_updates(updates)
+        truth = GSpanMiner().mine(inc.database, 3)
+        assert result.patterns.keys() == truth.keys()
+
+
+class TestClassification:
+    def test_uf_fi_if_partition_the_pattern_space(self):
+        db = random_database(seed=605, num_graphs=10, n=6)
+        inc = build(db, k=2, unit_support="exact", recheck_known=True)
+        old_keys = inc.current_patterns.keys()
+        gen = UpdateGenerator(3, 2, seed=8)
+        updates = gen.generate(inc.database, inc.ufreq, 0.5, 2, "mixed")
+        result = inc.apply_updates(updates)
+        new_keys = result.patterns.keys()
+        assert result.became_frequent.keys() == new_keys - old_keys
+        assert result.unchanged.keys() == new_keys & old_keys
+        assert result.became_infrequent.keys() == old_keys - new_keys
+        assert (
+            result.unchanged.keys() | result.became_frequent.keys()
+            == new_keys
+        )
+
+    def test_targeted_relabel_creates_fi(self):
+        """Relabeling a vertex label everywhere kills its patterns."""
+        db = random_database(seed=606, num_graphs=8, n=6,
+                             num_vertex_labels=2)
+        inc = build(db, sup=2, k=2, unit_support="exact",
+                    recheck_known=True)
+        updates = []
+        for gid, graph in inc.database:
+            for v in range(graph.num_vertices):
+                if graph.vertex_label(v) == 0:
+                    updates.append(RelabelVertex(gid, v, 7))
+        result = inc.apply_updates(updates)
+        assert len(result.became_infrequent) > 0
+        # Patterns mentioning label 0 cannot survive.
+        for p in result.patterns:
+            assert 0 not in p.graph.vertex_labels()
+
+    def test_added_edges_create_if(self):
+        """Adding the same edge to every graph creates new patterns."""
+        db = random_database(seed=607, num_graphs=8, n=5)
+        inc = build(db, sup=8, k=2, unit_support="exact",
+                    recheck_known=True)
+        from repro.updates.model import AddVertex
+
+        updates = []
+        for gid, graph in inc.database:
+            # Relabel vertex 0 uniformly, then attach a fresh vertex labeled
+            # 9 to it — the edge (5)-1-(9) now occurs in every graph.
+            updates.append(RelabelVertex(gid, 0, 5))
+            updates.append(AddVertex(gid, 9, 0, 1))
+        result = inc.apply_updates(updates)
+        labels_of_new = [
+            p
+            for p in result.became_frequent
+            if 9 in p.graph.vertex_labels()
+        ]
+        assert labels_of_new
+
+
+class TestIncrementalStats:
+    def test_unaffected_units_not_remined(self):
+        db = random_database(seed=608, num_graphs=10, n=6)
+        inc = build(db, k=4, unit_support="paper")
+        # One targeted tiny update: at most a few of the 4 units change.
+        gid = inc.database.gids()[0]
+        result = inc.apply_updates([RelabelVertex(gid, 0, 2)])
+        assert result.stats.updated_graphs == 1
+        assert result.stats.units_remined <= 4
+
+    def test_empty_batch_is_noop(self):
+        db = random_database(seed=609, num_graphs=8, n=5)
+        inc = build(db, k=2, unit_support="paper")
+        before = inc.current_patterns.keys()
+        result = inc.apply_updates([])
+        assert result.patterns.keys() == before
+        assert result.stats.units_remined == 0
+        assert len(result.became_frequent) == 0
+        assert len(result.became_infrequent) == 0
+
+    def test_times_recorded(self):
+        db = random_database(seed=610, num_graphs=8, n=5)
+        inc = build(db, k=2, unit_support="paper")
+        gen = UpdateGenerator(3, 2, seed=9)
+        updates = gen.generate(inc.database, inc.ufreq, 0.5, 2, "mixed")
+        result = inc.apply_updates(updates)
+        assert result.stats.total_time > 0
+        assert result.stats.parallel_time <= result.stats.total_time
+
+    def test_state_advances_between_batches(self):
+        db = random_database(seed=611, num_graphs=8, n=5)
+        inc = build(db, k=2, unit_support="paper")
+        gen = UpdateGenerator(3, 2, seed=10)
+        u1 = gen.generate(inc.database, inc.ufreq, 0.4, 1, "mixed")
+        r1 = inc.apply_updates(u1)
+        assert inc.current_patterns.keys() == r1.patterns.keys()
+
+
+class TestPaperHeuristicQuality:
+    def test_paper_mode_recall(self):
+        db = random_database(seed=612, num_graphs=12, n=6)
+        inc = build(db, k=2, unit_support="paper")
+        gen = UpdateGenerator(3, 2, seed=11)
+        updates = gen.generate(inc.database, inc.ufreq, 0.4, 2, "mixed")
+        result = inc.apply_updates(updates)
+        truth = GSpanMiner().mine(inc.database, 3)
+        got = result.patterns.keys()
+        recall = len(got & truth.keys()) / max(1, len(truth))
+        assert recall >= 0.9

@@ -1,0 +1,93 @@
+"""Round-trip and error tests for the t/v/e text format."""
+
+import pytest
+
+from repro.graph import io
+from repro.graph.database import GraphDatabase
+
+from .conftest import make_graph, random_database, triangle
+
+
+class TestRoundTrip:
+    def test_dumps_loads_roundtrip(self):
+        db = random_database(seed=9, num_graphs=5)
+        text = io.dumps(db)
+        back = io.loads(text)
+        assert len(back) == len(db)
+        for gid, graph in db:
+            clone = back[gid]
+            assert clone.num_vertices == graph.num_vertices
+            assert sorted(clone.edges()) == sorted(graph.edges())
+            assert clone.vertex_labels() == graph.vertex_labels()
+
+    def test_file_roundtrip(self, tmp_path):
+        db = GraphDatabase.from_graphs([triangle(labels=(1, 2, 3))])
+        path = tmp_path / "db.txt"
+        io.write_database(db, path)
+        back = io.read_database(path)
+        assert back[0].vertex_labels() == [1, 2, 3]
+        assert back[0].num_edges == 3
+
+    def test_string_labels_roundtrip(self):
+        g = make_graph(["C", "O"], [(0, 1, "double")])
+        text = io.dumps(GraphDatabase.from_graphs([g]))
+        back = io.loads(text)
+        assert back[0].vertex_label(0) == "C"
+        assert back[0].edge_label(0, 1) == "double"
+
+    def test_int_labels_parse_as_ints(self):
+        back = io.loads("t # 0\nv 0 1\nv 1 2\ne 0 1 3\n")
+        assert back[0].vertex_label(0) == 1
+        assert back[0].edge_label(0, 1) == 3
+
+    def test_gids_preserved(self):
+        db = GraphDatabase([(10, triangle()), (42, triangle())])
+        back = io.loads(io.dumps(db))
+        assert sorted(back.gids()) == [10, 42]
+
+
+class TestFormat:
+    def test_blank_lines_and_comments_skipped(self):
+        text = "\n# comment\nt # 0\nv 0 1\nv 1 1\n\ne 0 1 2\n"
+        back = io.loads(text)
+        assert back[0].num_edges == 1
+
+    def test_vertex_before_t_rejected(self):
+        with pytest.raises(ValueError, match="before 't'"):
+            io.loads("v 0 1\n")
+
+    def test_edge_before_t_rejected(self):
+        with pytest.raises(ValueError, match="before 't'"):
+            io.loads("e 0 1 2\n")
+
+    def test_out_of_order_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of order"):
+            io.loads("t # 0\nv 1 0\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="unknown directive"):
+            io.loads("t # 0\nx 1 2\n")
+
+    def test_empty_input_gives_empty_database(self):
+        assert len(io.loads("")) == 0
+
+
+class TestLabelValidation:
+    def test_whitespace_label_rejected(self):
+        g = make_graph(["a b"], [])
+        with pytest.raises(ValueError, match="t/v/e"):
+            io.dumps(GraphDatabase.from_graphs([g]))
+
+    def test_empty_label_rejected(self):
+        g = make_graph([""], [])
+        with pytest.raises(ValueError, match="t/v/e"):
+            io.dumps(GraphDatabase.from_graphs([g]))
+
+    def test_whitespace_edge_label_rejected(self):
+        g = make_graph(["a", "b"], [(0, 1, "x\ty")])
+        with pytest.raises(ValueError, match="t/v/e"):
+            io.dumps(GraphDatabase.from_graphs([g]))
+
+    def test_plain_string_labels_fine(self):
+        g = make_graph(["C", "O"], [(0, 1, "double")])
+        assert "double" in io.dumps(GraphDatabase.from_graphs([g]))

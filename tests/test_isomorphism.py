@@ -1,0 +1,161 @@
+"""Tests for subgraph isomorphism and graph isomorphism."""
+
+import random
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import (
+    are_isomorphic,
+    count_support,
+    find_embeddings,
+    subgraph_exists,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+from .conftest import (
+    make_graph,
+    path_graph,
+    permuted_copy,
+    random_graph,
+    star_graph,
+    triangle,
+)
+
+
+class TestSubgraphExists:
+    def test_edge_in_triangle(self):
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        assert subgraph_exists(edge, triangle())
+
+    def test_label_mismatch(self):
+        edge = LabeledGraph.single_edge(0, 0, 9)
+        assert not subgraph_exists(edge, triangle())
+
+    def test_path_in_triangle(self):
+        assert subgraph_exists(path_graph(3), triangle())
+
+    def test_triangle_not_in_path(self):
+        assert not subgraph_exists(triangle(), path_graph(4))
+
+    def test_monomorphism_semantics_extra_edges_ok(self):
+        # A 3-path embeds in a triangle even though the triangle has the
+        # closing edge between the path's endpoints (non-induced matching).
+        assert subgraph_exists(path_graph(3), triangle())
+
+    def test_star_needs_degree(self):
+        assert not subgraph_exists(star_graph(3, leaf_label=0), path_graph(4))
+
+    def test_pattern_bigger_than_target(self):
+        assert not subgraph_exists(path_graph(5), path_graph(3))
+
+    def test_edge_label_respected(self):
+        target = make_graph([0, 0], [(0, 1, "a")])
+        assert subgraph_exists(LabeledGraph.single_edge(0, "a", 0), target)
+        assert not subgraph_exists(LabeledGraph.single_edge(0, "b", 0), target)
+
+    def test_self_containment(self):
+        g = random_graph(random.Random(4), 7, 3)
+        assert subgraph_exists(g, g)
+
+
+class TestFindEmbeddings:
+    def test_embedding_count_of_edge_in_triangle(self):
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        embeddings = list(find_embeddings(edge, triangle()))
+        assert len(embeddings) == 6  # 3 edges x 2 orientations
+
+    def test_limit(self):
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        assert len(list(find_embeddings(edge, triangle(), limit=2))) == 2
+
+    def test_mappings_are_valid(self):
+        pattern = path_graph(3)
+        target = triangle()
+        for phi in find_embeddings(pattern, target):
+            assert len(set(phi.values())) == pattern.num_vertices
+            for u, v, label in pattern.edges():
+                assert target.has_edge(phi[u], phi[v])
+                assert target.edge_label(phi[u], phi[v]) == label
+
+    def test_empty_pattern_yields_one_empty_mapping(self):
+        assert list(find_embeddings(LabeledGraph(), triangle())) == [{}]
+
+
+class TestAreIsomorphic:
+    def test_permuted_copies(self):
+        rng = random.Random(8)
+        for _ in range(20):
+            g = random_graph(rng, rng.randrange(2, 8), 2)
+            perm = list(range(g.num_vertices))
+            rng.shuffle(perm)
+            assert are_isomorphic(g, permuted_copy(g, perm))
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(path_graph(3), path_graph(4))
+
+    def test_same_counts_different_structure(self):
+        # 4 vertices, 3 edges: path vs star.
+        p = path_graph(4)
+        s = star_graph(3, center_label=0, leaf_label=0)
+        assert not are_isomorphic(p, s)
+
+    def test_label_sensitivity(self):
+        g1 = triangle(labels=(0, 0, 1))
+        g2 = triangle(labels=(0, 1, 1))
+        assert not are_isomorphic(g1, g2)
+
+
+class TestCountSupport:
+    def test_counts_graphs_not_embeddings(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle(), path_graph(2)])
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        support, tids = count_support(edge, db)
+        assert support == 3
+        assert tids == {0, 1, 2}
+
+    def test_candidate_gids_restriction(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        support, tids = count_support(edge, db, candidate_gids={1})
+        assert support == 1
+        assert tids == {1}
+
+    def test_no_support(self):
+        db = GraphDatabase.from_graphs([path_graph(3)])
+        support, tids = count_support(triangle(), db)
+        assert support == 0
+        assert tids == set()
+
+
+class TestAgainstNetworkx:
+    """Cross-validate against networkx's VF2 on random instances."""
+
+    def test_random_cross_check(self):
+        nx = pytest.importorskip("networkx")
+        from networkx.algorithms import isomorphism as nxiso
+
+        def to_nx(g):
+            h = nx.Graph()
+            for v in g.vertices():
+                h.add_node(v, label=g.vertex_label(v))
+            for u, v, label in g.edges():
+                h.add_edge(u, v, label=label)
+            return h
+
+        rng = random.Random(31)
+        agreements = 0
+        for _ in range(60):
+            pattern = random_graph(rng, rng.randrange(2, 5), 1)
+            target = random_graph(rng, rng.randrange(3, 8), 3)
+            ours = subgraph_exists(pattern, target)
+            matcher = nxiso.GraphMatcher(
+                to_nx(target),
+                to_nx(pattern),
+                node_match=lambda a, b: a["label"] == b["label"],
+                edge_match=lambda a, b: a["label"] == b["label"],
+            )
+            theirs = matcher.subgraph_is_monomorphic()
+            assert ours == theirs
+            agreements += 1
+        assert agreements == 60

@@ -1,0 +1,180 @@
+"""Unit tests for the LabeledGraph data structure."""
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+
+from .conftest import make_graph, path_graph, triangle
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_add_vertex_returns_sequential_ids(self):
+        g = LabeledGraph()
+        assert g.add_vertex("a") == 0
+        assert g.add_vertex("b") == 1
+        assert g.vertex_label(0) == "a"
+        assert g.vertex_label(1) == "b"
+
+    def test_from_vertices_and_edges(self):
+        g = make_graph([0, 1, 2], [(0, 1, 9), (1, 2, 8)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.edge_label(0, 1) == 9
+        assert g.edge_label(2, 1) == 8
+
+    def test_single_edge_constructor(self):
+        g = LabeledGraph.single_edge("x", "e", "y")
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.edge_label(0, 1) == "e"
+
+    def test_size_is_edge_count(self):
+        assert triangle().size == 3
+        assert path_graph(5).size == 4
+
+
+class TestEdgeValidation:
+    def test_self_loop_rejected(self):
+        g = LabeledGraph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(0, 0, 1)
+
+    def test_duplicate_edge_rejected(self):
+        g = make_graph([0, 0], [(0, 1, 0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_edge(0, 1, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_edge(1, 0, 2)
+
+    def test_unknown_vertex_rejected(self):
+        g = make_graph([0, 0], [])
+        with pytest.raises(ValueError, match="unknown vertex"):
+            g.add_edge(0, 5, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = make_graph([0, 0], [])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge(0, 1)
+        assert g.num_edges == 2
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_set_vertex_label(self):
+        g = path_graph(3)
+        g.set_vertex_label(1, 42)
+        assert g.vertex_label(1) == 42
+
+    def test_set_edge_label_both_directions(self):
+        g = path_graph(3)
+        g.set_edge_label(1, 0, "new")
+        assert g.edge_label(0, 1) == "new"
+        assert g.edge_label(1, 0) == "new"
+
+    def test_set_edge_label_missing_raises(self):
+        g = path_graph(3)
+        with pytest.raises(KeyError):
+            g.set_edge_label(0, 2, "x")
+
+    def test_version_bumps_on_mutation(self):
+        g = path_graph(3)
+        v0 = g.version
+        g.set_vertex_label(0, 5)
+        assert g.version > v0
+        v1 = g.version
+        g.add_vertex(1)
+        assert g.version > v1
+
+    def test_copy_is_independent(self):
+        g = triangle()
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        clone.set_vertex_label(0, 99)
+        assert g.num_edges == 3
+        assert g.vertex_label(0) == 0
+
+
+class TestInspection:
+    def test_edges_yields_each_once_u_lt_v(self):
+        g = triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_neighbors(self):
+        g = path_graph(3, elabel=7)
+        assert dict(g.neighbors(1)) == {0: 7, 2: 7}
+        assert g.degree(1) == 2
+        assert g.degree(0) == 1
+
+    def test_label_histogram(self):
+        g = make_graph([0, 0, 1], [(0, 1, 5), (1, 2, 5)])
+        vcounts, ecounts = g.label_histogram()
+        assert vcounts == {0: 2, 1: 1}
+        assert ecounts == {5: 2}
+
+    def test_len_is_vertex_count(self):
+        assert len(path_graph(4)) == 4
+
+    def test_repr_mentions_counts(self):
+        assert "vertices=3" in repr(triangle())
+        assert "edges=3" in repr(triangle())
+
+
+class TestStructure:
+    def test_connected_components_single(self):
+        assert len(triangle().connected_components()) == 1
+        assert triangle().is_connected()
+
+    def test_connected_components_multiple(self):
+        g = make_graph([0, 0, 0, 0], [(0, 1, 0), (2, 3, 0)])
+        components = g.connected_components()
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+        assert not g.is_connected()
+
+    def test_isolated_vertex_is_own_component(self):
+        g = make_graph([0, 0, 0], [(0, 1, 0)])
+        assert len(g.connected_components()) == 2
+
+    def test_empty_graph_is_connected(self):
+        assert LabeledGraph().is_connected()
+
+    def test_induced_subgraph(self):
+        g = triangle(labels=(1, 2, 3))
+        sub = g.induced_subgraph([0, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.vertex_label(0) == 1
+        assert sub.vertex_label(1) == 3
+
+    def test_induced_subgraph_renumbers_densely(self):
+        g = path_graph(5)
+        sub = g.induced_subgraph([4, 3])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+
+    def test_edge_subgraph(self):
+        g = triangle(labels=(7, 8, 9))
+        sub = g.edge_subgraph([(0, 1), (1, 2)])
+        assert sub.num_edges == 2
+        assert sub.num_vertices == 3
+        assert sorted(
+            sub.vertex_label(v) for v in sub.vertices()
+        ) == [7, 8, 9]
+
+    def test_edge_subgraph_drops_untouched_vertices(self):
+        g = path_graph(5)
+        sub = g.edge_subgraph([(1, 2)])
+        assert sub.num_vertices == 2

@@ -1,0 +1,214 @@
+"""Tests for weights, GraphPart, and the METIS-like partitioner."""
+
+import random
+
+from repro.partition.graphpart import (
+    GraphPartitioner,
+    build_bipartition,
+    dfs_scan,
+)
+from repro.partition.metis import MetisPartitioner
+from repro.partition.weights import (
+    PARTITION1,
+    PARTITION2,
+    PARTITION3,
+    PartitionWeights,
+    cut_edges,
+)
+
+from .conftest import make_graph, path_graph, random_graph, triangle
+
+
+class TestWeights:
+    def test_cut_edges(self):
+        g = path_graph(4)
+        assert cut_edges(g, {0, 1}) == [(1, 2)]
+        assert cut_edges(g, {0, 2}) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_evaluate_partition1_ignores_cut(self):
+        g = path_graph(4)
+        ufreq = [1.0, 1.0, 0.0, 0.0]
+        w_good = PARTITION1.evaluate(g, {0, 1}, ufreq)
+        w_bad = PARTITION1.evaluate(g, {2, 3}, ufreq)
+        assert w_good == 1.0
+        assert w_bad == 0.0
+
+    def test_evaluate_partition2_penalizes_cut(self):
+        g = path_graph(4)
+        ufreq = [0.0] * 4
+        assert PARTITION2.evaluate(g, {0, 1}, ufreq) == -1.0
+        assert PARTITION2.evaluate(g, {0, 2}, ufreq) == -3.0
+
+    def test_partition3_combines(self):
+        g = path_graph(4)
+        ufreq = [1.0, 1.0, 0.0, 0.0]
+        assert PARTITION3.evaluate(g, {0, 1}, ufreq) == 0.0  # 1.0 - 1 cut
+
+    def test_empty_subset_is_minus_inf(self):
+        assert PartitionWeights().evaluate(
+            path_graph(2), set(), [0, 0]
+        ) == float("-inf")
+
+
+class TestDFSScan:
+    def test_respects_limit(self):
+        g = path_graph(6)
+        subset = dfs_scan(g, 0, 3, [0.0] * 6)
+        assert len(subset) == 3
+        assert subset == {0, 1, 2}
+
+    def test_follows_high_ufreq_neighbor(self):
+        g = make_graph([0] * 4, [(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 0)])
+        ufreq = [0.0, 0.1, 0.9, 0.0]
+        subset = dfs_scan(g, 0, 2, ufreq)
+        assert subset == {0, 2}  # prefers the hot neighbor
+
+    def test_backtracks_when_stuck(self):
+        # Star: the walk reaches a leaf and must backtrack to the center.
+        g = make_graph([0] * 4, [(0, 1, 0), (0, 2, 0), (0, 3, 0)])
+        subset = dfs_scan(g, 1, 3, [0.0] * 4)
+        assert len(subset) == 3
+
+
+class TestBuildBipartition:
+    def test_connective_edges_in_both_sides(self):
+        g = path_graph(4)
+        bipart = build_bipartition(g, {0, 1}, [0.0] * 4)
+        assert bipart.connective_edges == ((1, 2),)
+        # Side 0: edge (0,1) + cut (1,2); side 1: (2,3) + cut (1,2).
+        assert bipart.side0.graph.num_edges == 2
+        assert bipart.side1.graph.num_edges == 2
+
+    def test_edge_union_recovers_graph(self):
+        rng = random.Random(10)
+        for _ in range(20):
+            g = random_graph(rng, rng.randrange(4, 9), 3)
+            subset = set(
+                rng.sample(range(g.num_vertices), g.num_vertices // 2)
+            )
+            bipart = build_bipartition(g, subset, [0.0] * g.num_vertices)
+            recovered = set()
+            for side in (bipart.side0, bipart.side1):
+                for u, v, label in side.graph.edges():
+                    ou, ov = side.to_original(u), side.to_original(v)
+                    recovered.add((min(ou, ov), max(ou, ov), label))
+            original = {
+                (min(u, v), max(u, v), label) for u, v, label in g.edges()
+            }
+            assert recovered == original
+
+    def test_labels_preserved(self):
+        g = triangle(labels=(7, 8, 9))
+        bipart = build_bipartition(g, {0}, [0.0] * 3)
+        side = bipart.side0
+        for v in side.graph.vertices():
+            assert side.graph.vertex_label(v) == g.vertex_label(
+                side.to_original(v)
+            )
+
+    def test_cores_are_disjoint_and_cover(self):
+        g = path_graph(5)
+        bipart = build_bipartition(g, {0, 1}, [0.0] * 5)
+        assert bipart.core0 & bipart.core1 == frozenset()
+        assert bipart.core0 | bipart.core1 == set(range(5))
+
+    def test_ufreq_propagated(self):
+        g = path_graph(3)
+        bipart = build_bipartition(g, {0}, [0.5, 0.2, 0.9])
+        side = bipart.side0
+        for v in side.graph.vertices():
+            assert side.ufreq[v] == [0.5, 0.2, 0.9][side.to_original(v)]
+
+
+class TestGraphPartitioner:
+    def test_trivial_graphs_go_to_side0(self):
+        single = make_graph([0], [])
+        bipart = GraphPartitioner()(single, [0.0])
+        assert bipart.side0.graph.num_vertices == 1
+        assert bipart.side1.graph.num_vertices == 0
+
+    def test_both_sides_nonempty_for_real_graphs(self):
+        rng = random.Random(20)
+        partitioner = GraphPartitioner()
+        for _ in range(20):
+            g = random_graph(rng, rng.randrange(4, 10), 2)
+            bipart = partitioner(g, [0.0] * g.num_vertices)
+            assert bipart.core0 and bipart.core1
+
+    def test_partition1_isolates_hot_vertices(self):
+        # A path with hot vertices at one end: Partition1 groups them.
+        g = path_graph(6)
+        ufreq = [1.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+        bipart = GraphPartitioner(PARTITION1)(g, ufreq)
+        hot_side = (
+            bipart.core0 if 0 in bipart.core0 else bipart.core1
+        )
+        assert {0, 1, 2} <= hot_side
+
+    def test_partition2_minimizes_cut_on_barbell(self):
+        # Two triangles joined by one bridge: the min cut is the bridge.
+        g = make_graph(
+            [0] * 6,
+            [
+                (0, 1, 0), (1, 2, 0), (2, 0, 0),
+                (2, 3, 0),
+                (3, 4, 0), (4, 5, 0), (5, 3, 0),
+            ],
+        )
+        bipart = GraphPartitioner(PARTITION2)(g, [0.0] * 6)
+        assert bipart.num_connective_edges == 1
+        assert bipart.connective_edges[0] == (2, 3)
+
+    def test_deterministic(self):
+        rng = random.Random(30)
+        g = random_graph(rng, 8, 3)
+        partitioner = GraphPartitioner()
+        b1 = partitioner(g, [0.0] * 8)
+        b2 = partitioner(g, [0.0] * 8)
+        assert b1.core0 == b2.core0
+
+
+class TestMetisPartitioner:
+    def test_both_sides_nonempty(self):
+        rng = random.Random(40)
+        partitioner = MetisPartitioner()
+        for _ in range(15):
+            g = random_graph(rng, rng.randrange(4, 20), 4)
+            bipart = partitioner(g, None)
+            assert bipart.core0 and bipart.core1
+
+    def test_barbell_cut(self):
+        g = make_graph(
+            [0] * 6,
+            [
+                (0, 1, 0), (1, 2, 0), (2, 0, 0),
+                (2, 3, 0),
+                (3, 4, 0), (4, 5, 0), (5, 3, 0),
+            ],
+        )
+        bipart = MetisPartitioner()(g, None)
+        assert bipart.num_connective_edges == 1
+
+    def test_edge_union_recovers_graph(self):
+        rng = random.Random(50)
+        partitioner = MetisPartitioner()
+        g = random_graph(rng, 12, 6)
+        bipart = partitioner(g, None)
+        recovered = set()
+        for side in (bipart.side0, bipart.side1):
+            for u, v, label in side.graph.edges():
+                ou, ov = side.to_original(u), side.to_original(v)
+                recovered.add((min(ou, ov), max(ou, ov), label))
+        assert recovered == {
+            (min(u, v), max(u, v), label) for u, v, label in g.edges()
+        }
+
+    def test_balance(self):
+        # On a long path the bisection should be roughly balanced.
+        g = path_graph(24)
+        bipart = MetisPartitioner()(g, None)
+        assert 6 <= len(bipart.core0) <= 18
+
+    def test_trivial_graph(self):
+        bipart = MetisPartitioner()(make_graph([0], []), None)
+        assert bipart.side1.graph.num_vertices == 0

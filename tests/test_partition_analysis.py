@@ -1,0 +1,120 @@
+"""Tests for partition quality metrics."""
+
+import math
+
+from repro.partition.analysis import (
+    BipartitionQuality,
+    bipartition_quality,
+    compare_partitioners,
+    tree_quality,
+)
+from repro.partition.dbpartition import db_partition
+from repro.partition.graphpart import GraphPartitioner, build_bipartition
+from repro.partition.metis import MetisPartitioner
+from repro.partition.weights import PARTITION1, PARTITION2
+
+from .conftest import make_graph, path_graph, random_database
+
+
+class TestBipartitionQuality:
+    def test_cut_ratio(self):
+        g = path_graph(4)
+        bipart = build_bipartition(g, {0, 1}, [0.0] * 4)
+        quality = bipartition_quality(g, bipart)
+        assert quality.cut_edges == 1
+        assert quality.total_edges == 3
+        assert quality.cut_ratio == 1 / 3
+
+    def test_balance_perfect_split(self):
+        g = path_graph(4)
+        bipart = build_bipartition(g, {0, 1}, [0.0] * 4)
+        assert bipartition_quality(g, bipart).balance == 1.0
+
+    def test_balance_lopsided(self):
+        g = path_graph(4)
+        bipart = build_bipartition(g, {0}, [0.0] * 4)
+        assert bipartition_quality(g, bipart).balance == 1 / 3
+
+    def test_isolation_with_hot_side(self):
+        g = path_graph(4)
+        ufreq = [1.0, 1.0, 0.0, 0.0]
+        bipart = build_bipartition(g, {0, 1}, ufreq)
+        quality = bipartition_quality(g, bipart, ufreq)
+        assert quality.isolation == 1.0  # all hot mass in one core
+
+    def test_isolation_split_mass(self):
+        g = path_graph(4)
+        ufreq = [1.0, 0.0, 1.0, 0.0]
+        bipart = build_bipartition(g, {0, 1}, ufreq)
+        quality = bipartition_quality(g, bipart, ufreq)
+        assert quality.isolation == 0.5
+
+    def test_no_ufreq_defaults_to_one(self):
+        g = path_graph(3)
+        bipart = build_bipartition(g, {0}, [0.0] * 3)
+        assert bipartition_quality(g, bipart).isolation == 1.0
+
+    def test_empty_graph_cut_ratio(self):
+        quality = BipartitionQuality(
+            cut_edges=0, total_edges=0, balance=1.0, isolation=1.0
+        )
+        assert quality.cut_ratio == 0.0
+
+
+class TestTreeQuality:
+    def test_metrics_in_range(self):
+        db = random_database(seed=950, num_graphs=6)
+        tree = db_partition(db, 4)
+        quality = tree_quality(tree)
+        assert 0.0 <= quality.average_cut_ratio <= 1.0
+        assert 0.0 < quality.average_balance <= 1.0
+        assert quality.total_connective_edges == tree.total_connective_edges()
+        assert len(quality.unit_edge_counts) == 4
+        assert quality.unit_skew >= 1.0 or math.isinf(quality.unit_skew)
+
+    def test_leaf_only_tree(self):
+        db = random_database(seed=951, num_graphs=3)
+        tree = db_partition(db, 1)
+        quality = tree_quality(tree)
+        assert quality.average_cut_ratio == 0.0
+        assert quality.total_connective_edges == 0
+
+
+class TestComparePartitioners:
+    def test_partition1_isolates_better_partition2_cuts_better(self):
+        # A barbell graph with all the hot vertices in one lobe makes the
+        # two criteria pull apart: Partition2 cuts the bridge, Partition1
+        # gathers the hot vertices wherever they are.
+        g = make_graph(
+            [0] * 6,
+            [
+                (0, 1, 0), (1, 2, 0), (2, 0, 0),
+                (2, 3, 0),
+                (3, 4, 0), (4, 5, 0), (5, 3, 0),
+            ],
+        )
+        ufreq = [1.0, 0.0, 1.0, 1.0, 0.0, 0.0]  # hot straddles the bridge
+        results = compare_partitioners(
+            [g],
+            {
+                "P1": GraphPartitioner(PARTITION1),
+                "P2": GraphPartitioner(PARTITION2),
+            },
+            [ufreq],
+        )
+        assert results["P2"].cut_edges <= results["P1"].cut_edges
+        assert results["P1"].isolation >= results["P2"].isolation - 1e-9
+
+    def test_metis_in_comparison(self):
+        db = random_database(seed=952, num_graphs=5, n=10, extra_edges=4)
+        graphs = list(db.graphs())
+        results = compare_partitioners(
+            graphs,
+            {
+                "metis": MetisPartitioner(),
+                "graphpart": GraphPartitioner(PARTITION2),
+            },
+        )
+        assert set(results) == {"metis", "graphpart"}
+        for quality in results.values():
+            assert quality.total_edges == sum(g.num_edges for g in graphs)

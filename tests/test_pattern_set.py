@@ -1,0 +1,91 @@
+"""Tests for Pattern and PatternSet."""
+
+from repro.mining.base import Pattern, PatternSet
+
+from .conftest import path_graph, triangle
+
+
+def pat(graph, tids):
+    return Pattern.from_graph(graph, tids)
+
+
+class TestPattern:
+    def test_from_graph(self):
+        p = pat(triangle(), [1, 2, 3])
+        assert p.support == 3
+        assert p.tids == {1, 2, 3}
+        assert p.size == 3
+
+    def test_isomorphic_graphs_share_key(self):
+        p1 = pat(path_graph(3), [0])
+        g = path_graph(3)
+        p2 = pat(g, [1])
+        assert p1.key == p2.key
+
+    def test_repr(self):
+        assert "support=2" in repr(pat(triangle(), [0, 1]))
+
+
+class TestPatternSet:
+    def test_add_and_get(self):
+        ps = PatternSet()
+        p = pat(triangle(), [0, 1])
+        ps.add(p)
+        assert len(ps) == 1
+        assert p.key in ps
+        assert ps.get(p.key) is p
+
+    def test_add_keeps_larger_tid_list(self):
+        ps = PatternSet()
+        ps.add(pat(triangle(), [0]))
+        ps.add(pat(triangle(), [0, 1, 2]))
+        assert ps.get(pat(triangle(), [0]).key).support == 3
+        ps.add(pat(triangle(), [5]))  # smaller: ignored
+        assert ps.get(pat(triangle(), [0]).key).support == 3
+
+    def test_add_union_merges_tids(self):
+        ps = PatternSet()
+        ps.add_union(pat(triangle(), [0, 1]))
+        ps.add_union(pat(triangle(), [1, 2]))
+        assert ps.get(pat(triangle(), [0]).key).tids == {0, 1, 2}
+
+    def test_remove(self):
+        ps = PatternSet([pat(triangle(), [0])])
+        ps.remove(pat(triangle(), [0]).key)
+        assert len(ps) == 0
+        ps.remove(pat(triangle(), [0]).key)  # idempotent
+
+    def test_of_size(self):
+        ps = PatternSet([pat(triangle(), [0]), pat(path_graph(3), [0])])
+        assert len(ps.of_size(3)) == 1
+        assert len(ps.of_size(2)) == 1
+        assert ps.of_size(7) == []
+
+    def test_max_size(self):
+        ps = PatternSet([pat(triangle(), [0]), pat(path_graph(5), [0])])
+        assert ps.max_size() == 4
+        assert PatternSet().max_size() == 0
+
+    def test_filter_support(self):
+        ps = PatternSet(
+            [pat(triangle(), [0, 1, 2]), pat(path_graph(3), [0])]
+        )
+        filtered = ps.filter_support(2)
+        assert len(filtered) == 1
+
+    def test_union(self):
+        a = PatternSet([pat(triangle(), [0])])
+        b = PatternSet([pat(triangle(), [1]), pat(path_graph(3), [2])])
+        merged = a.union(b)
+        assert len(merged) == 2
+        assert merged.get(pat(triangle(), [0]).key).tids == {0, 1}
+        assert len(a) == 1  # inputs untouched
+
+    def test_difference_keys(self):
+        a = PatternSet([pat(triangle(), [0]), pat(path_graph(3), [0])])
+        b = PatternSet([pat(triangle(), [0])])
+        assert a.difference_keys(b) == {pat(path_graph(3), [0]).key}
+
+    def test_iteration(self):
+        ps = PatternSet([pat(triangle(), [0]), pat(path_graph(3), [0])])
+        assert {p.size for p in ps} == {2, 3}

@@ -1,0 +1,103 @@
+"""Tests for pattern queries (match / relocate / coverage)."""
+
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.base import Pattern, PatternSet
+from repro.mining.gspan import GSpanMiner
+from repro.query import coverage, match, match_patterns
+
+from .conftest import make_graph, path_graph, random_database, triangle
+
+
+class TestMatch:
+    def test_edge_in_triangle_occurrences(self):
+        db = GraphDatabase.from_graphs([triangle()])
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        result = match(edge, db)
+        assert result.support == 1
+        assert len(result.occurrences) == 6  # 3 edges x 2 orientations
+        assert result.per_graph() == {0: 6}
+
+    def test_mappings_are_valid(self):
+        db = GraphDatabase.from_graphs([triangle(), path_graph(4)])
+        pattern = path_graph(3)
+        result = match(pattern, db)
+        for occurrence in result.occurrences:
+            graph = db[occurrence.gid]
+            phi = dict(occurrence.mapping)
+            for u, v, label in pattern.edges():
+                assert graph.has_edge(phi[u], phi[v])
+                assert graph.edge_label(phi[u], phi[v]) == label
+
+    def test_occurrence_cap_keeps_support_exact(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        edge = LabeledGraph.single_edge(0, 0, 0)
+        result = match(edge, db, max_occurrences_per_graph=1)
+        assert result.support == 2
+        assert len(result.occurrences) == 2
+
+    def test_induced_match(self):
+        db = GraphDatabase.from_graphs([triangle(), path_graph(3)])
+        pattern = path_graph(3)
+        plain = match(pattern, db)
+        induced = match(pattern, db, induced=True)
+        assert plain.supporting_gids == {0, 1}
+        assert induced.supporting_gids == {1}
+
+    def test_no_match(self):
+        db = GraphDatabase.from_graphs([triangle()])
+        result = match(triangle(labels=(9, 9, 9)), db)
+        assert result.support == 0
+        assert result.occurrences == []
+
+
+class TestMatchPatterns:
+    def test_relocation_recomputes_supports(self):
+        source = random_database(seed=1100, num_graphs=8, n=6)
+        mined = GSpanMiner().mine(source, 3)
+        target = random_database(seed=1101, num_graphs=10, n=6)
+        relocated = match_patterns(mined, target)
+        truth = GSpanMiner().mine(target, 1)
+        for p in relocated:
+            q = truth.get(p.key)
+            expected = q.tids if q is not None else frozenset()
+            assert p.tids == expected
+
+    def test_min_support_filters(self):
+        source = random_database(seed=1102, num_graphs=8, n=6)
+        mined = GSpanMiner().mine(source, 2)
+        filtered = match_patterns(mined, source, min_support=4)
+        assert all(p.support >= 4 for p in filtered)
+        assert filtered.keys() <= mined.keys()
+
+    def test_same_database_roundtrip(self):
+        db = random_database(seed=1103, num_graphs=8, n=6)
+        mined = GSpanMiner().mine(db, 3)
+        relocated = match_patterns(mined, db)
+        for p in relocated:
+            assert p.tids == mined.get(p.key).tids
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        db = GraphDatabase.from_graphs([triangle(), triangle()])
+        patterns = PatternSet(
+            [Pattern.from_graph(LabeledGraph.single_edge(0, 0, 0), [0, 1])]
+        )
+        fraction, covered = coverage(patterns, db)
+        assert fraction == 1.0
+        assert covered == {0, 1}
+
+    def test_partial_coverage(self):
+        db = GraphDatabase.from_graphs(
+            [triangle(), make_graph([7, 7], [(0, 1, 7)])]
+        )
+        patterns = PatternSet([Pattern.from_graph(triangle(), [0])])
+        fraction, covered = coverage(patterns, db)
+        assert fraction == 0.5
+        assert covered == {0}
+
+    def test_empty_inputs(self):
+        assert coverage(PatternSet(), GraphDatabase()) == (0.0, set())
+        db = GraphDatabase.from_graphs([triangle()])
+        assert coverage(PatternSet(), db) == (0.0, set())

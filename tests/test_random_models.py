@@ -1,0 +1,101 @@
+"""Tests for the classical random graph models."""
+
+import random
+
+import pytest
+
+from repro.datagen.random_models import (
+    erdos_renyi,
+    preferential_attachment,
+    random_model_database,
+    ring_lattice,
+)
+from repro.mining.gaston import GastonMiner
+from repro.mining.gspan import GSpanMiner
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            g = erdos_renyi(8, 0.1, 3, rng)
+            assert g.is_connected()
+            assert g.num_vertices == 8
+
+    def test_p_zero_gives_tree(self):
+        g = erdos_renyi(6, 0.0, 3, random.Random(2))
+        assert g.num_edges == 5
+
+    def test_p_one_gives_complete(self):
+        g = erdos_renyi(5, 1.0, 3, random.Random(3))
+        assert g.num_edges == 10
+
+    def test_disconnected_allowed(self):
+        g = erdos_renyi(10, 0.0, 3, random.Random(4), connected=False)
+        assert g.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5, 3, random.Random(0))
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, 3, random.Random(0))
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_sized(self):
+        rng = random.Random(5)
+        g = preferential_attachment(20, 2, 3, rng)
+        assert g.num_vertices == 20
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        """Hubs emerge: max degree well above the median."""
+        rng = random.Random(6)
+        g = preferential_attachment(60, 2, 3, rng)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(1, 2, 3, random.Random(0))
+
+
+class TestRingLattice:
+    def test_no_rewiring_is_regular(self):
+        g = ring_lattice(10, 2, 0.0, 3, random.Random(7))
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_rewiring_changes_structure(self):
+        base = ring_lattice(12, 2, 0.0, 3, random.Random(8))
+        rewired = ring_lattice(12, 2, 0.9, 3, random.Random(8))
+        assert sorted(base.edges()) != sorted(rewired.edges())
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_lattice(2, 1, 0.0, 3, random.Random(0))
+
+
+class TestRandomModelDatabase:
+    @pytest.mark.parametrize("model", ["er", "ba", "ws"])
+    def test_database_shape(self, model):
+        db = random_model_database(model, 6, 8, seed=11)
+        assert len(db) == 6
+        assert all(g.num_vertices == 8 for g in db.graphs())
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            random_model_database("zz", 3, 5)
+
+    def test_deterministic(self):
+        a = random_model_database("er", 4, 6, seed=9)
+        b = random_model_database("er", 4, 6, seed=9)
+        for gid in a.gids():
+            assert sorted(a[gid].edges()) == sorted(b[gid].edges())
+
+    @pytest.mark.parametrize("model", ["er", "ba", "ws"])
+    def test_miners_agree_on_model_databases(self, model):
+        """Miner agreement must not depend on the kernel generator."""
+        db = random_model_database(model, 8, 7, num_labels=3, seed=13)
+        gspan = GSpanMiner(max_size=3).mine(db, 3)
+        gaston = GastonMiner(max_size=3).mine(db, 3)
+        assert gspan.keys() == gaston.keys()

@@ -1,0 +1,113 @@
+"""Tests for top-k mining and greedy pattern selection."""
+
+import pytest
+
+from repro.graph.database import GraphDatabase
+from repro.mining.base import Pattern, PatternSet
+from repro.mining.gspan import GSpanMiner
+from repro.mining.select import greedy_cover, mine_top_k
+
+from .conftest import make_graph, path_graph, random_database, triangle
+
+
+class TestMineTopK:
+    def test_returns_k_patterns(self, medium_db):
+        top = mine_top_k(medium_db, 5)
+        assert len(top) == 5
+
+    def test_ordered_by_support(self, medium_db):
+        top = mine_top_k(medium_db, 8)
+        supports = [p.support for p in top]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_exactness_against_exhaustive(self, medium_db):
+        """Top-k supports equal the k best supports of the full set."""
+        full = sorted(
+            (p.support for p in GSpanMiner().mine(medium_db, 1)),
+            reverse=True,
+        )
+        top = mine_top_k(medium_db, 6)
+        assert [p.support for p in top] == full[:6]
+
+    def test_min_size_filter(self, medium_db):
+        top = mine_top_k(medium_db, 4, min_size=2)
+        assert all(p.size >= 2 for p in top)
+        full = sorted(
+            (
+                p.support
+                for p in GSpanMiner().mine(medium_db, 1)
+                if p.size >= 2
+            ),
+            reverse=True,
+        )
+        assert [p.support for p in top] == full[:4]
+
+    def test_fewer_patterns_than_k(self):
+        db = GraphDatabase.from_graphs([triangle()])
+        top = mine_top_k(db, 50)
+        assert 0 < len(top) <= 50
+
+    def test_empty_database(self):
+        assert mine_top_k(GraphDatabase(), 3) == []
+
+    def test_invalid_k(self, medium_db):
+        with pytest.raises(ValueError):
+            mine_top_k(medium_db, 0)
+
+    def test_deterministic(self, medium_db):
+        assert [p.key for p in mine_top_k(medium_db, 5)] == [
+            p.key for p in mine_top_k(medium_db, 5)
+        ]
+
+
+class TestGreedyCover:
+    def patterns(self):
+        return PatternSet(
+            [
+                Pattern.from_graph(triangle(), [0, 1, 2]),
+                Pattern.from_graph(path_graph(3), [2, 3]),
+                Pattern.from_graph(path_graph(4), [4]),
+                Pattern.from_graph(
+                    make_graph([7, 7], [(0, 1, 7)]), [0, 1]
+                ),
+            ]
+        )
+
+    def test_greedy_picks_largest_first(self):
+        selected, covered = greedy_cover(self.patterns(), 2)
+        assert selected[0].tids == {0, 1, 2}
+        # Second pick: path4 and path3 both gain 1; the bigger pattern
+        # wins the tie, covering gid 4.
+        assert covered == {0, 1, 2, 4}
+
+    def test_full_cover(self):
+        selected, covered = greedy_cover(self.patterns(), 4)
+        assert covered == {0, 1, 2, 3, 4}
+        # The redundant edge pattern ({0,1} subset of {0,1,2}) is skipped.
+        assert len(selected) == 3
+
+    def test_k_limits_selection(self):
+        selected, covered = greedy_cover(self.patterns(), 1)
+        assert len(selected) == 1
+        assert covered == {0, 1, 2}
+
+    def test_min_new_graphs_stops_early(self):
+        selected, _ = greedy_cover(
+            self.patterns(), 10, min_new_graphs=2
+        )
+        # After the triangle covers {0,1,2}, every remaining pattern
+        # gains at most 1 new graph -> stop after a single pick.
+        assert len(selected) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            greedy_cover(self.patterns(), 0)
+
+    def test_on_mined_patterns(self, medium_db):
+        mined = GSpanMiner().mine(medium_db, 2)
+        selected, covered = greedy_cover(mined, 3)
+        assert len(selected) <= 3
+        union = set()
+        for p in selected:
+            union |= p.tids
+        assert covered == union

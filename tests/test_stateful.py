@@ -1,0 +1,187 @@
+"""Model-based (stateful) property tests with hypothesis.
+
+Two state machines exercise the core data structures against trivially
+correct reference models:
+
+* :class:`LabeledGraphMachine` — random interleavings of graph mutations,
+  checked against a dict/set reference after every step;
+* :class:`PatternSetMachine` — add/add_union/remove sequences, checked
+  against a plain dict keyed by canonical code.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.base import Pattern, PatternSet
+
+from .conftest import path_graph, star_graph, triangle
+
+LABELS = st.integers(0, 3)
+
+
+class LabeledGraphMachine(RuleBasedStateMachine):
+    """LabeledGraph vs a (labels list, edge dict) reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = LabeledGraph()
+        self.ref_labels = []
+        self.ref_edges = {}  # (u, v) u<v -> label
+
+    # ---- rules ------------------------------------------------------
+    @rule(label=LABELS)
+    def add_vertex(self, label):
+        vid = self.graph.add_vertex(label)
+        self.ref_labels.append(label)
+        assert vid == len(self.ref_labels) - 1
+
+    @precondition(lambda self: len(self.ref_labels) >= 2)
+    @rule(data=st.data(), label=LABELS)
+    def add_edge(self, data, label):
+        n = len(self.ref_labels)
+        u = data.draw(st.integers(0, n - 1))
+        v = data.draw(st.integers(0, n - 1))
+        key = (min(u, v), max(u, v))
+        if u == v or key in self.ref_edges:
+            return
+        self.graph.add_edge(u, v, label)
+        self.ref_edges[key] = label
+
+    @precondition(lambda self: bool(self.ref_edges))
+    @rule(data=st.data())
+    def remove_edge(self, data):
+        key = data.draw(st.sampled_from(sorted(self.ref_edges)))
+        self.graph.remove_edge(*key)
+        del self.ref_edges[key]
+
+    @precondition(lambda self: bool(self.ref_labels))
+    @rule(data=st.data(), label=LABELS)
+    def relabel_vertex(self, data, label):
+        v = data.draw(st.integers(0, len(self.ref_labels) - 1))
+        self.graph.set_vertex_label(v, label)
+        self.ref_labels[v] = label
+
+    @precondition(lambda self: bool(self.ref_edges))
+    @rule(data=st.data(), label=LABELS)
+    def relabel_edge(self, data, label):
+        key = data.draw(st.sampled_from(sorted(self.ref_edges)))
+        self.graph.set_edge_label(*key, label)
+        self.ref_edges[key] = label
+
+    # ---- invariants --------------------------------------------------
+    @invariant()
+    def counts_match(self):
+        assert self.graph.num_vertices == len(self.ref_labels)
+        assert self.graph.num_edges == len(self.ref_edges)
+
+    @invariant()
+    def labels_match(self):
+        assert self.graph.vertex_labels() == self.ref_labels
+
+    @invariant()
+    def edges_match(self):
+        got = {
+            (u, v): label for u, v, label in self.graph.edges()
+        }
+        assert got == self.ref_edges
+
+    @invariant()
+    def degrees_match(self):
+        for v in range(len(self.ref_labels)):
+            expected = sum(1 for key in self.ref_edges if v in key)
+            assert self.graph.degree(v) == expected
+
+    @invariant()
+    def histogram_matches(self):
+        vcounts, ecounts = self.graph.label_histogram()
+        ref_v = {}
+        for label in self.ref_labels:
+            ref_v[label] = ref_v.get(label, 0) + 1
+        ref_e = {}
+        for label in self.ref_edges.values():
+            ref_e[label] = ref_e.get(label, 0) + 1
+        assert vcounts == ref_v
+        assert ecounts == ref_e
+
+
+class PatternSetMachine(RuleBasedStateMachine):
+    """PatternSet vs a dict keyed by canonical code."""
+
+    GRAPHS = [
+        triangle(),
+        path_graph(2),
+        path_graph(3),
+        path_graph(4),
+        star_graph(3),
+        triangle(labels=(0, 0, 1)),
+    ]
+
+    def __init__(self):
+        super().__init__()
+        self.patterns = PatternSet()
+        self.reference = {}  # key -> frozenset tids
+
+    @rule(
+        index=st.integers(0, len(GRAPHS) - 1),
+        tids=st.frozensets(st.integers(0, 6), max_size=5),
+    )
+    def add(self, index, tids):
+        pattern = Pattern.from_graph(self.GRAPHS[index], tids)
+        self.patterns.add(pattern)
+        current = self.reference.get(pattern.key)
+        if current is None or len(tids) > len(current):
+            self.reference[pattern.key] = frozenset(tids)
+
+    @rule(
+        index=st.integers(0, len(GRAPHS) - 1),
+        tids=st.frozensets(st.integers(0, 6), max_size=5),
+    )
+    def add_union(self, index, tids):
+        pattern = Pattern.from_graph(self.GRAPHS[index], tids)
+        self.patterns.add_union(pattern)
+        current = self.reference.get(pattern.key, frozenset())
+        self.reference[pattern.key] = current | frozenset(tids)
+
+    @precondition(lambda self: bool(self.reference))
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        self.patterns.remove(key)
+        del self.reference[key]
+
+    @invariant()
+    def keys_match(self):
+        assert self.patterns.keys() == set(self.reference)
+
+    @invariant()
+    def tids_and_support_match(self):
+        for key, tids in self.reference.items():
+            pattern = self.patterns.get(key)
+            assert pattern is not None
+            assert pattern.tids == tids
+            assert pattern.support == len(tids)
+
+    @invariant()
+    def size_index_consistent(self):
+        for size in {p.size for p in self.patterns}:
+            assert all(
+                p.size == size for p in self.patterns.of_size(size)
+            )
+
+
+TestLabeledGraphModel = LabeledGraphMachine.TestCase
+TestLabeledGraphModel.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestPatternSetModel = PatternSetMachine.TestCase
+TestPatternSetModel.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,95 @@
+"""Tests for pattern-set persistence."""
+
+import io
+
+import pytest
+
+from repro.mining.gspan import GSpanMiner
+from repro.mining.store import (
+    dump_patterns,
+    load_patterns,
+    read_patterns,
+    save_patterns,
+)
+
+from .conftest import random_database
+
+
+def mined(seed=800):
+    return GSpanMiner().mine(random_database(seed=seed, num_graphs=8), 2)
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        patterns = mined()
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer, meta={"note": "hi"})
+        buffer.seek(0)
+        back, meta = load_patterns(buffer)
+        assert back.keys() == patterns.keys()
+        assert meta == {"note": "hi"}
+        for p in back:
+            original = patterns.get(p.key)
+            assert p.tids == original.tids
+            assert p.support == original.support
+
+    def test_file_roundtrip(self, tmp_path):
+        patterns = mined(801)
+        path = tmp_path / "patterns.jsonl"
+        save_patterns(patterns, path, meta={"support": 2})
+        back, meta = read_patterns(path)
+        assert back.keys() == patterns.keys()
+        assert meta == {"support": 2}
+
+    def test_string_labels(self, tmp_path):
+        from repro.graph.labeled_graph import LabeledGraph
+        from repro.mining.base import Pattern, PatternSet
+
+        g = LabeledGraph.from_vertices_and_edges(
+            ["C", "O"], [(0, 1, "double")]
+        )
+        patterns = PatternSet([Pattern.from_graph(g, [0, 4])])
+        path = tmp_path / "p.jsonl"
+        save_patterns(patterns, path)
+        back, _ = read_patterns(path)
+        pattern = next(iter(back))
+        assert pattern.graph.vertex_labels() == ["C", "O"]
+        assert pattern.tids == {0, 4}
+
+
+class TestValidation:
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            load_patterns(iter([]))
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="no header"):
+            load_patterns(iter(['{"kind": "pattern"}']))
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            load_patterns(
+                iter(['{"kind": "header", "version": 99, "patterns": 0}'])
+            )
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="count mismatch"):
+            load_patterns(
+                iter(['{"kind": "header", "version": 1, "patterns": 3}'])
+            )
+
+    def test_unexpected_record(self):
+        lines = [
+            '{"kind": "header", "version": 1, "patterns": 0}',
+            '{"kind": "mystery"}',
+        ]
+        with pytest.raises(ValueError, match="unexpected record"):
+            load_patterns(iter(lines))
+
+    def test_blank_lines_tolerated(self):
+        patterns = mined(802)
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer)
+        text = buffer.getvalue().replace("\n", "\n\n")
+        back, _ = load_patterns(iter(text.splitlines()))
+        assert back.keys() == patterns.keys()

@@ -1,0 +1,96 @@
+"""Tests for update streams (multi-epoch dynamic workloads)."""
+
+from repro.updates.model import apply_updates
+from repro.updates.stream import UpdateStream
+from repro.updates.tracker import hot_vertex_assignment
+
+from .conftest import random_database
+
+
+def make_stream(db, drift=0.0, seed=1, **kw):
+    ufreq = hot_vertex_assignment(db, hot_fraction=0.3, seed=3)
+    return UpdateStream(
+        db, ufreq, num_labels=5, drift=drift, seed=seed, **kw
+    )
+
+
+class TestBatches:
+    def test_epoch_counter_advances(self):
+        db = random_database(seed=970, num_graphs=8)
+        stream = make_stream(db)
+        plan1, _ = stream.next_batch()
+        plan2, _ = stream.next_batch()
+        assert (plan1.index, plan2.index) == (1, 2)
+
+    def test_batch_shape(self):
+        db = random_database(seed=971, num_graphs=10)
+        stream = make_stream(db, fraction_graphs=0.5, ops_per_graph=2)
+        _, batch = stream.next_batch()
+        assert len(batch) == 10  # 5 graphs x 2 ops
+        assert len({u.gid for u in batch}) == 5
+
+    def test_batches_generator(self):
+        db = random_database(seed=972, num_graphs=8)
+        stream = make_stream(db)
+        count = 0
+        for plan, batch in stream.batches(3):
+            apply_updates(db, batch)
+            count += 1
+        assert count == 3
+        assert stream.epoch == 3
+
+    def test_batches_apply_cleanly_across_epochs(self):
+        db = random_database(seed=973, num_graphs=8)
+        stream = make_stream(db, kind="structural", ops_per_graph=3)
+        for _, batch in stream.batches(4):
+            apply_updates(db, batch)  # grows graphs; must never raise
+
+    def test_deterministic_by_seed(self):
+        db1 = random_database(seed=974, num_graphs=8)
+        db2 = random_database(seed=974, num_graphs=8)
+        s1, s2 = make_stream(db1, seed=9), make_stream(db2, seed=9)
+        assert s1.next_batch()[1] == s2.next_batch()[1]
+
+
+class TestDrift:
+    def test_zero_drift_keeps_hot_map(self):
+        db = random_database(seed=975, num_graphs=6)
+        stream = make_stream(db, drift=0.0)
+        before = dict(stream.current_ufreq)
+        stream.next_batch()
+        assert stream.current_ufreq == before
+
+    def test_full_drift_moves_hot_mass(self):
+        db = random_database(seed=976, num_graphs=6)
+        stream = make_stream(db, drift=1.0)
+        before = dict(stream.current_ufreq)
+        stream.next_batch()
+        moved = sum(
+            1
+            for gid in before
+            if stream.current_ufreq[gid] != before[gid]
+        )
+        assert moved > 0
+
+    def test_drift_preserves_mass(self):
+        db = random_database(seed=977, num_graphs=6)
+        stream = make_stream(db, drift=0.7)
+        before = {
+            gid: sorted(values)
+            for gid, values in stream.current_ufreq.items()
+        }
+        stream.next_batch()
+        after = {
+            gid: sorted(values)
+            for gid, values in stream.current_ufreq.items()
+        }
+        assert before == after  # swaps only, no mass created
+
+    def test_ufreq_padded_after_growth(self):
+        db = random_database(seed=978, num_graphs=6)
+        stream = make_stream(db, kind="structural", ops_per_graph=2)
+        for _, batch in stream.batches(2):
+            apply_updates(db, batch)
+        stream.next_batch()
+        for gid, graph in db:
+            assert len(stream.current_ufreq[gid]) >= graph.num_vertices
