@@ -49,6 +49,13 @@ from .mining import (
 )
 from .mining.adi import ADIMiner
 from .query import MatchResult, Occurrence, coverage, match, match_patterns
+from .runtime import (
+    CheckpointStore,
+    MiningRuntime,
+    RunTelemetry,
+    RuntimeConfig,
+    run_unit_mining,
+)
 from .partition import (
     PARTITION1,
     PARTITION2,
@@ -75,6 +82,7 @@ __all__ = [
     "AddEdge",
     "AddVertex",
     "BruteForceMiner",
+    "CheckpointStore",
     "DFSCode",
     "DatasetSpec",
     "GSpanMiner",
@@ -86,6 +94,7 @@ __all__ = [
     "LabeledGraph",
     "MergeJoinStats",
     "MetisPartitioner",
+    "MiningRuntime",
     "PARTITION1",
     "PARTITION2",
     "PARTITION3",
@@ -96,6 +105,8 @@ __all__ = [
     "PartitionWeights",
     "RelabelEdge",
     "RelabelVertex",
+    "RunTelemetry",
+    "RuntimeConfig",
     "SyntheticGenerator",
     "UpdateGenerator",
     "apply_updates",
@@ -116,5 +127,6 @@ __all__ = [
     "match",
     "match_patterns",
     "min_dfs_code",
+    "run_unit_mining",
     "subgraph_exists",
 ]

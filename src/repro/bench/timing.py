@@ -41,46 +41,39 @@ class Timer:
         return self.laps[name]
 
 
-def _mine_unit(args):
-    """Top-level worker for process pools (must be picklable)."""
-    from ..graph.database import GraphDatabase
-    from ..mining.gaston import GastonMiner
-
-    graphs, threshold, max_size = args
-    database = GraphDatabase(graphs)
-    miner = GastonMiner(max_size=max_size)
-    result = miner.mine(database, threshold)
-    return [(p.graph, sorted(p.tids)) for p in result]
-
-
 def mine_units_in_processes(
     units,
     thresholds: list[int],
     max_size: int | None = None,
     max_workers: int | None = None,
+    config=None,
+    checkpoint=None,
 ):
     """Mine partition units concurrently in real worker processes.
 
     ``units`` are :class:`PartitionNode` leaves; ``thresholds`` the absolute
     per-unit thresholds.  Returns one :class:`PatternSet` per unit.  This is
     the "inherently parallel" execution the paper notes PartMiner admits;
-    the benchmarks use the timing *model* instead so that measurements stay
-    deterministic, but the examples demonstrate this path.
+    since the runtime refactor it delegates to the fault-tolerant engine
+    (:func:`repro.runtime.run_unit_mining`) — pass a
+    :class:`~repro.runtime.config.RuntimeConfig` as ``config`` for
+    timeouts/retries and a :class:`~repro.runtime.checkpoint
+    .CheckpointStore` as ``checkpoint`` for resumable runs.  The benchmarks
+    use the timing *model* instead so that measurements stay deterministic,
+    but the examples demonstrate this path.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from dataclasses import replace
 
-    from ..mining.base import Pattern, PatternSet
+    from ..runtime import RuntimeConfig, run_unit_mining
 
-    payloads = [
-        (list(unit.database), threshold, max_size)
-        for unit, threshold in zip(units, thresholds)
-    ]
-    results = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for raw in pool.map(_mine_unit, payloads):
-            results.append(
-                PatternSet(
-                    Pattern.from_graph(graph, tids) for graph, tids in raw
-                )
-            )
-    return results
+    if config is None:
+        config = RuntimeConfig(max_workers=max_workers)
+    elif max_workers is not None:
+        config = replace(config, max_workers=max_workers)
+    return run_unit_mining(
+        units,
+        thresholds,
+        max_size=max_size,
+        config=config,
+        checkpoint=checkpoint,
+    ).unit_results

@@ -73,11 +73,23 @@ def cmd_mine(args: argparse.Namespace) -> int:
                     lambda2=args.lambda2 if args.lambda2 is not None else 1.0,
                 )
             )
+        runtime_config = None
+        if args.parallel:
+            from .runtime import RuntimeConfig
+
+            runtime_config = RuntimeConfig(
+                max_workers=args.workers,
+                unit_timeout=args.unit_timeout,
+                max_retries=args.retries,
+            )
         miner = PartMiner(
             k=args.k,
             partitioner=partitioner,
             unit_support=args.unit_support,
             max_size=args.max_size,
+            parallel_units=args.parallel,
+            runtime=runtime_config,
+            run_dir=args.run_dir,
         )
         result = miner.mine(database, args.support)
         patterns = result.patterns
@@ -85,6 +97,11 @@ def cmd_mine(args: argparse.Namespace) -> int:
             f"aggregate {result.aggregate_time:.2f}s, "
             f"parallel {result.parallel_time:.2f}s"
         )
+        if result.telemetry is not None:
+            print(f"runtime: {result.telemetry.format_summary()}")
+            if args.telemetry:
+                result.telemetry.save(args.telemetry)
+                print(f"telemetry saved to {args.telemetry}")
     else:
         if args.algorithm == "gspan":
             miner = GSpanMiner(max_size=args.max_size)
@@ -273,6 +290,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="save patterns to this file")
     p.add_argument("--top", type=int, default=10,
                    help="patterns to print when not saving")
+    p.add_argument("--parallel", action="store_true",
+                   help="mine units through the fault-tolerant parallel "
+                        "runtime (partminer only)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="concurrent unit workers (default: CPU count)")
+    p.add_argument("--unit-timeout", type=float, default=None,
+                   help="per-attempt wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per unit before serial fallback")
+    p.add_argument("--run-dir", default=None,
+                   help="checkpoint directory; re-running with the same "
+                        "directory resumes, skipping finished units")
+    p.add_argument("--telemetry", default=None,
+                   help="also write runtime telemetry JSON here")
     p.set_defaults(func=cmd_mine)
 
     p = sub.add_parser("partition", help="split a database into units")

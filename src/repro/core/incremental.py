@@ -66,6 +66,7 @@ class IncrementalStats:
     remine_times: list[float] = field(default_factory=list)
     merge_time: float = 0.0
     classify_time: float = 0.0
+    runtime_telemetry: object | None = None  # RunTelemetry (runtime remine)
 
     @property
     def total_time(self) -> float:
@@ -129,7 +130,13 @@ class IncrementalPartMiner:
         max_size: int | None = None,
         recheck_known: bool = False,
         unit_remine: str = "full",
+        runtime: object | None = None,
     ) -> None:
+        """``runtime`` (a :class:`~repro.runtime.config.RuntimeConfig`)
+        re-mines affected units through the fault-tolerant parallel
+        runtime instead of in-process, recording execution telemetry on
+        ``stats.runtime_telemetry``.  It applies to ``unit_remine='full'``
+        (the ``'selective'`` single-unit patcher stays in-process)."""
         if unit_remine not in ("full", "selective"):
             raise ValueError(
                 f"unit_remine must be 'full' or 'selective': {unit_remine!r}"
@@ -142,6 +149,7 @@ class IncrementalPartMiner:
         self.max_size = max_size
         self.recheck_known = recheck_known
         self.unit_remine = unit_remine
+        self.runtime = runtime
         self._database: GraphDatabase | None = None
         self._ufreq: UfreqMap | None = None
         self._result: PartMinerResult | None = None
@@ -232,7 +240,42 @@ class IncrementalPartMiner:
 
         # --- step 2: re-mine affected units ------------------------------
         new_unit_results = list(old.unit_results)
-        for i in sorted(affected):
+        if (
+            self.runtime is not None
+            and affected
+            and self.unit_remine == "full"
+        ):
+            # Selective re-mining through the fault-tolerant runtime: only
+            # the affected units are dispatched, each with timeout/retry/
+            # degradation protection, and the run's telemetry lands on the
+            # step's stats.
+            from ..runtime import run_unit_mining
+
+            indices = sorted(affected)
+            run = run_unit_mining(
+                [units[i] for i in indices],
+                [
+                    resolve_unit_threshold(
+                        units[i], threshold, self.unit_support, k=self.k
+                    )
+                    for i in indices
+                ],
+                max_size=self.max_size,
+                config=self.runtime,
+                miner_factory=self.miner_factory,
+            )
+            stats.runtime_telemetry = run.telemetry
+            for i, mined, record in zip(
+                indices, run.unit_results, run.telemetry.units
+            ):
+                new_unit_results[i] = mined
+                stats.remine_times.append(record.wall_time)
+                stats.remine_time += record.wall_time
+                stats.units_remined += 1
+            affected_to_remine: set[int] = set()
+        else:
+            affected_to_remine = affected
+        for i in sorted(affected_to_remine):
             unit = units[i]
             unit_threshold = resolve_unit_threshold(
                 unit, threshold, self.unit_support, k=self.k

@@ -14,8 +14,10 @@ optional process pool actually runs units concurrently.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from ..graph.database import GraphDatabase
@@ -46,8 +48,6 @@ def resolve_unit_threshold(
     """
     if unit_support == "paper":
         if k is not None:
-            import math
-
             return max(1, math.ceil(root_threshold / k))
         return node.support_threshold(root_threshold)
     if unit_support == "exact":
@@ -70,6 +70,7 @@ class PartMinerResult:
     merge_times: dict[tuple[int, int], float]
     merge_stats: dict[tuple[int, int], MergeJoinStats]
     partition_time: float = 0.0
+    telemetry: object | None = None  # RunTelemetry when parallel_units ran
 
     @property
     def aggregate_time(self) -> float:
@@ -119,11 +120,21 @@ class PartMiner:
     max_size:
         Optional bound on pattern size.
     parallel_units:
-        Mine the units in a real process pool (the paper's "inherently
-        parallel" execution).  Only the default Gaston unit miner is
-        supported in this mode; per-unit wall times are then measured
-        inside the workers and the aggregate/parallel timing model still
-        applies.
+        Mine the units through the fault-tolerant runtime
+        (:mod:`repro.runtime`) — the paper's "inherently parallel"
+        execution, with per-attempt worker processes, timeouts, retries
+        and graceful degradation.  Workers run the default Gaston unit
+        miner; ``miner_factory`` is used for the in-process serial
+        fallback.  Per-unit wall times come from runtime telemetry and
+        the aggregate/parallel timing model still applies.
+    runtime:
+        :class:`~repro.runtime.config.RuntimeConfig` execution policy for
+        ``parallel_units`` mode (defaults apply when omitted).
+    run_dir:
+        Checkpoint directory for ``parallel_units`` mode.  Completed units
+        are persisted here as they finish; re-running with the same
+        directory resumes, skipping finished units.  Telemetry is saved
+        alongside as ``telemetry.json``.
     """
 
     k: int = 2
@@ -133,6 +144,8 @@ class PartMiner:
     strict_paper_joins: bool = False
     max_size: int | None = None
     parallel_units: bool = False
+    runtime: object | None = None  # RuntimeConfig
+    run_dir: str | Path | None = None
 
     def mine(
         self,
@@ -174,17 +187,34 @@ class PartMiner:
             for unit in units
         ]
         if self.parallel_units:
-            from ..bench.timing import mine_units_in_processes
+            from ..runtime import CheckpointStore, run_unit_mining
 
-            t0 = time.perf_counter()
-            unit_results = mine_units_in_processes(
-                units, thresholds, max_size=self.max_size
+            checkpoint = None
+            if self.run_dir is not None:
+                checkpoint = CheckpointStore(self.run_dir)
+                checkpoint.open(
+                    {
+                        "units": len(units),
+                        "thresholds": thresholds,
+                        "k": self.k,
+                        "root_threshold": threshold,
+                    }
+                )
+            run = run_unit_mining(
+                units,
+                thresholds,
+                max_size=self.max_size,
+                config=self.runtime,
+                checkpoint=checkpoint,
+                miner_factory=self.miner_factory,
             )
-            pool_elapsed = time.perf_counter() - t0
-            for unit, mined in zip(units, unit_results):
-                # Workers do not report individual times; attribute the
-                # pool wall time evenly so aggregate/parallel stay defined.
-                result.unit_times.append(pool_elapsed / len(units))
+            result.telemetry = run.telemetry
+            if checkpoint is not None:
+                checkpoint.save_telemetry(run.telemetry)
+            for unit, mined, record in zip(
+                units, run.unit_results, run.telemetry.units
+            ):
+                result.unit_times.append(record.wall_time)
                 result.unit_results.append(mined)
                 result.node_results[(unit.depth, unit.index)] = mined
         else:

@@ -98,10 +98,29 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
 
 
 def save_patterns(
-    patterns: PatternSet, path: str | Path, meta: dict | None = None
+    patterns: PatternSet,
+    path: str | Path,
+    meta: dict | None = None,
+    atomic: bool = False,
 ) -> None:
-    with open(path, "w", encoding="utf-8") as out:
-        dump_patterns(patterns, out, meta)
+    """Write ``patterns`` to ``path``.
+
+    ``atomic=True`` writes through a sibling temp file and renames it into
+    place, so readers (and a resumed run scanning checkpoints) never see a
+    torn file — the write either fully happened or not at all.
+    """
+    path = Path(path)
+    if not atomic:
+        with open(path, "w", encoding="utf-8") as out:
+            dump_patterns(patterns, out, meta)
+        return
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as out:
+            dump_patterns(patterns, out, meta)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def read_patterns(path: str | Path) -> tuple[PatternSet, dict]:

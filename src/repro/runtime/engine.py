@@ -1,0 +1,448 @@
+"""Fault-tolerant parallel execution engine for unit mining.
+
+The paper notes PartMiner's phase 2 is "inherently parallel": after
+DBPartition the ``k`` units are independent mining problems.  This engine
+runs them with production-grade fault tolerance instead of a bare pool:
+
+* every *attempt* runs in its own worker **process** (a fresh one per
+  attempt, so a crashed or wedged worker cannot poison its successors) and
+  is bounded by a wall-clock timeout — on expiry the process is killed;
+* failed attempts (timeout, crash, raised exception, garbage result) are
+  retried with capped exponential backoff up to ``max_retries`` times;
+* once the retry budget is exhausted the unit *degrades*: it is mined
+  in-process by the real serial miner, so an adversarial worker can delay
+  a run but never change its answer;
+* each completed unit is checkpointed immediately (when a
+  :class:`~repro.runtime.checkpoint.CheckpointStore` is attached), so a
+  killed run resumes by skipping finished units;
+* everything that happened is recorded as structured telemetry
+  (:class:`~repro.runtime.telemetry.RunTelemetry`).
+
+Concurrency model: up to ``max_workers`` units are in flight at once, each
+driven by a supervisor thread that owns the unit's retry loop and blocks
+on its current worker process.  Threads are cheap here — all heavy lifting
+happens in the worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from ..mining.base import Pattern, PatternSet
+from .checkpoint import CheckpointStore
+from .config import RuntimeConfig
+from .telemetry import AttemptRecord, RunTelemetry, UnitRecord
+
+Worker = Callable[[object, int], object]
+Decoder = Callable[[object], PatternSet]
+
+
+# ----------------------------------------------------------------------
+# Default worker: mine one unit with Gaston (the paper's unit miner).
+# ----------------------------------------------------------------------
+def encode_patterns(patterns: PatternSet) -> list:
+    """Pickle-light wire form of a pattern set (what workers return)."""
+    return [
+        [
+            pattern.graph.vertex_labels(),
+            [[u, v, label] for u, v, label in pattern.graph.edges()],
+            sorted(pattern.tids),
+        ]
+        for pattern in patterns
+    ]
+
+
+def decode_patterns(raw: object) -> PatternSet:
+    """Validate + decode a worker result; raises on anything malformed."""
+    if not isinstance(raw, list):
+        raise ValueError(f"worker returned {type(raw).__name__}, not a list")
+    patterns = PatternSet()
+    for entry in raw:
+        vertices, edges, tids = entry  # raises on wrong shape
+        graph = LabeledGraph.from_vertices_and_edges(
+            list(vertices), [(u, v, label) for u, v, label in edges]
+        )
+        patterns.add(Pattern.from_graph(graph, [int(t) for t in tids]))
+    return patterns
+
+
+def mine_unit_worker(payload: dict, attempt: int) -> list:
+    """Default worker: Gaston over one unit's piece database.
+
+    ``attempt`` (the 0-based attempt number) is part of the worker
+    protocol so shims — fault injectors, samplers — can vary behaviour
+    across retries; the default miner ignores it.
+    """
+    from ..mining.gaston import GastonMiner
+
+    database = GraphDatabase(payload["graphs"])
+    miner = GastonMiner(max_size=payload.get("max_size"))
+    return encode_patterns(miner.mine(database, payload["threshold"]))
+
+
+def _child_main(worker: Worker, payload: object, attempt: int, conn) -> None:
+    """Worker-process entry: run the worker, report over the pipe."""
+    try:
+        result = worker(payload, attempt)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class UnitTask:
+    """One unit of work: a payload for the worker + an in-process fallback."""
+
+    index: int
+    payload: object
+    fallback: Callable[[], PatternSet] | None = None
+    checkpoint_meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class RuntimeResult:
+    """What a run produced: per-unit pattern sets + full telemetry."""
+
+    unit_results: list[PatternSet]
+    telemetry: RunTelemetry
+
+
+class UnitMiningError(RuntimeError):
+    """One or more units failed and no fallback was allowed.
+
+    Carries the run's telemetry (``.telemetry``) so the failure can still
+    be post-mortemed.
+    """
+
+    def __init__(self, failed: list[int], telemetry: RunTelemetry) -> None:
+        super().__init__(
+            f"units {failed} failed after exhausting retries "
+            f"(fallback disabled)"
+        )
+        self.failed = failed
+        self.telemetry = telemetry
+
+
+class MiningRuntime:
+    """Fault-tolerant parallel executor for unit-mining tasks.
+
+    Parameters
+    ----------
+    config:
+        Execution policy (:class:`RuntimeConfig`); defaults apply if
+        omitted.
+    worker:
+        Top-level picklable callable ``worker(payload, attempt)`` run in a
+        fresh process per attempt.  Tests substitute fault-injecting shims.
+    decode:
+        Validates/decodes the worker's raw return into a
+        :class:`PatternSet`; a raise counts as a ``garbage`` attempt.
+    sleep:
+        Injectable clock for backoff (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        *,
+        worker: Worker = mine_unit_worker,
+        decode: Decoder = decode_patterns,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.worker = worker
+        self.decode = decode
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: list[UnitTask],
+        *,
+        checkpoint: CheckpointStore | None = None,
+        on_unit_complete: Callable[[int, PatternSet, UnitRecord], None]
+        | None = None,
+    ) -> RuntimeResult:
+        """Execute every task; returns results in task order.
+
+        Units already present in ``checkpoint`` are loaded, not re-mined
+        (status ``checkpoint``).  ``on_unit_complete(index, patterns,
+        record)`` fires after each *freshly* completed unit has been
+        checkpointed — the hook examples use to simulate crashes and CLIs
+        use for progress.  Raises :class:`UnitMiningError` if any unit
+        ends up ``failed``.
+        """
+        start = time.perf_counter()
+        results: dict[int, PatternSet | None] = {}
+        records: dict[int, UnitRecord] = {}
+
+        fresh: list[UnitTask] = []
+        for task in tasks:
+            if checkpoint is not None and checkpoint.has(task.index):
+                t0 = time.perf_counter()
+                patterns = checkpoint.load(task.index)
+                elapsed = time.perf_counter() - t0
+                results[task.index] = patterns
+                records[task.index] = UnitRecord(
+                    unit=task.index,
+                    status="checkpoint",
+                    attempts=[
+                        AttemptRecord(
+                            attempt=0,
+                            outcome="checkpoint",
+                            wall_time=elapsed,
+                            pid=os.getpid(),
+                        )
+                    ],
+                    wall_time=elapsed,
+                    patterns=len(patterns),
+                )
+            else:
+                fresh.append(task)
+
+        if fresh:
+            max_workers = self.config.max_workers or os.cpu_count() or 1
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(fresh))
+            ) as pool:
+                for task, (patterns, record) in zip(
+                    fresh,
+                    pool.map(
+                        lambda t: self._run_unit(
+                            t, checkpoint, on_unit_complete
+                        ),
+                        fresh,
+                    ),
+                ):
+                    results[task.index] = patterns
+                    records[task.index] = record
+
+        telemetry = RunTelemetry(
+            units=[records[task.index] for task in tasks],
+            config=self.config.to_dict(),
+            total_wall_time=time.perf_counter() - start,
+        )
+        failed = [
+            task.index
+            for task in tasks
+            if records[task.index].status == "failed"
+        ]
+        if failed:
+            raise UnitMiningError(failed, telemetry)
+        return RuntimeResult(
+            unit_results=[results[task.index] for task in tasks],
+            telemetry=telemetry,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_unit(
+        self,
+        task: UnitTask,
+        checkpoint: CheckpointStore | None,
+        on_unit_complete,
+    ) -> tuple[PatternSet | None, UnitRecord]:
+        """Retry loop for one unit (runs on a supervisor thread)."""
+        config = self.config
+        start = time.perf_counter()
+        attempts: list[AttemptRecord] = []
+        patterns: PatternSet | None = None
+
+        for attempt in range(config.max_retries + 1):
+            record, mined = self._attempt(task, attempt)
+            attempts.append(record)
+            if record.outcome == "ok":
+                patterns = mined
+                break
+            if attempt < config.max_retries:
+                delay = config.backoff_delay(attempt)
+                record.backoff = delay
+                if delay > 0:
+                    self.sleep(delay)
+
+        if patterns is not None:
+            status = "ok"
+        elif config.fallback == "serial" and task.fallback is not None:
+            t0 = time.perf_counter()
+            try:
+                patterns = task.fallback()
+            except Exception as exc:  # noqa: BLE001 - recorded, then failed
+                attempts.append(
+                    AttemptRecord(
+                        attempt=len(attempts),
+                        outcome="fallback-error",
+                        wall_time=time.perf_counter() - t0,
+                        pid=os.getpid(),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                status = "failed"
+            else:
+                attempts.append(
+                    AttemptRecord(
+                        attempt=len(attempts),
+                        outcome="fallback-serial",
+                        wall_time=time.perf_counter() - t0,
+                        pid=os.getpid(),
+                    )
+                )
+                status = "degraded"
+        else:
+            status = "failed"
+
+        record = UnitRecord(
+            unit=task.index,
+            status=status,
+            attempts=attempts,
+            wall_time=time.perf_counter() - start,
+            patterns=None if patterns is None else len(patterns),
+        )
+        if patterns is not None:
+            if checkpoint is not None:
+                checkpoint.save(
+                    task.index,
+                    patterns,
+                    meta={"status": status, **task.checkpoint_meta},
+                )
+            if on_unit_complete is not None:
+                on_unit_complete(task.index, patterns, record)
+        return patterns, record
+
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, task: UnitTask, attempt: int
+    ) -> tuple[AttemptRecord, PatternSet | None]:
+        """Run one attempt in a fresh worker process."""
+        config = self.config
+        start = time.perf_counter()
+        ctx = multiprocessing.get_context(config.start_method)
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(self.worker, task.payload, attempt, send),
+            daemon=True,
+        )
+        proc.start()
+        send.close()
+
+        outcome = error = None
+        raw = None
+        try:
+            if recv.poll(config.unit_timeout):
+                try:
+                    message = recv.recv()
+                except EOFError:
+                    message = None
+                if message is None:
+                    outcome, error = "crash", "worker died without a report"
+                elif message[0] == "ok":
+                    raw = message[1]
+                else:
+                    outcome, error = "error", message[1]
+            else:
+                outcome = "timeout"
+                error = f"no result within {config.unit_timeout}s"
+        finally:
+            pid = proc.pid
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(config.kill_grace)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(config.kill_grace)
+            else:
+                proc.join()
+            recv.close()
+
+        patterns = None
+        if raw is not None:
+            # A clean exit code but an empty pipe is already handled above;
+            # here the worker *reported* — but its payload may still be
+            # nonsense, which counts as a failed (retried) attempt.
+            try:
+                patterns = self.decode(raw)
+            except Exception as exc:  # noqa: BLE001 - garbage result
+                outcome = "garbage"
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                outcome = "ok"
+        if outcome == "crash" and proc.exitcode not in (None, 0):
+            error = f"worker exit code {proc.exitcode}"
+
+        return (
+            AttemptRecord(
+                attempt=attempt,
+                outcome=outcome,
+                wall_time=time.perf_counter() - start,
+                pid=pid,
+                error=error,
+            ),
+            patterns,
+        )
+
+
+# ----------------------------------------------------------------------
+# High-level entry point used by PartMiner, IncPartMiner and the bench.
+# ----------------------------------------------------------------------
+def run_unit_mining(
+    units,
+    thresholds: list[int],
+    *,
+    max_size: int | None = None,
+    config: RuntimeConfig | None = None,
+    checkpoint: CheckpointStore | None = None,
+    miner_factory: Callable[[], object] | None = None,
+    worker: Worker = mine_unit_worker,
+    on_unit_complete=None,
+) -> RuntimeResult:
+    """Mine partition units through the fault-tolerant runtime.
+
+    ``units`` are :class:`~repro.partition.units.PartitionNode` leaves and
+    ``thresholds`` their absolute support thresholds.  The serial fallback
+    (and nothing else) uses ``miner_factory`` — the worker processes run
+    ``worker`` (Gaston by default), matching the paper's unit miner.
+    """
+
+    def make_fallback(unit, threshold):
+        def fallback() -> PatternSet:
+            from ..mining.gaston import GastonMiner
+
+            factory = miner_factory or GastonMiner
+            miner = factory()
+            if max_size is not None and hasattr(miner, "max_size"):
+                miner.max_size = max_size
+            return miner.mine(unit.database, threshold)
+
+        return fallback
+
+    tasks = [
+        UnitTask(
+            index=i,
+            payload={
+                "graphs": list(unit.database),
+                "threshold": threshold,
+                "max_size": max_size,
+            },
+            fallback=make_fallback(unit, threshold),
+            checkpoint_meta={"threshold": threshold},
+        )
+        for i, (unit, threshold) in enumerate(zip(units, thresholds))
+    ]
+    runtime = MiningRuntime(config, worker=worker)
+    return runtime.run(
+        tasks, checkpoint=checkpoint, on_unit_complete=on_unit_complete
+    )

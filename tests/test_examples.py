@@ -42,6 +42,13 @@ class TestExamples:
         assert "process-pool mining" in out
         assert "recall vs direct mining: 1.000" in out
 
+    def test_resumable_mining(self):
+        out = run_example("resumable_mining.py")
+        assert "simulating crash" in out
+        assert "checkpoints on disk: units [0, 1]" in out
+        assert "2 checkpoint, 2 ok" in out
+        assert "verified against direct mining" in out
+
     def test_disk_based_mining(self):
         out = run_example("disk_based_mining.py")
         assert "page reads" in out
@@ -68,5 +75,6 @@ class TestExamples:
             "disk_based_mining.py",
             "pattern_warehouse.py",
             "pattern_explorer.py",
+            "resumable_mining.py",
         }
         assert scripts == covered, "new example missing a smoke test"

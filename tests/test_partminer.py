@@ -37,6 +37,36 @@ class TestUnitThreshold:
         with pytest.raises(ValueError):
             resolve_unit_threshold(tree.units()[0], 8, "bogus")
 
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_paper_with_k_matches_depth_based_for_power_of_two_k(self, k):
+        """``ceil(sup/k)`` (explicit k) and ``ceil(sup/2^depth)`` (the
+        node's depth) are the same rule whenever k is a power of two —
+        every unit of a balanced tree sits at depth log2(k)."""
+        db = random_database(seed=401, num_graphs=16, n=6)
+        tree = db_partition(db, k)
+        for root_threshold in (1, 5, 8, 9, 16):
+            for unit in tree.units():
+                assert resolve_unit_threshold(
+                    unit, root_threshold, "paper", k=k
+                ) == resolve_unit_threshold(unit, root_threshold, "paper")
+
+    def test_paper_with_k_uses_ceiling_division(self):
+        """Non-power-of-two k: explicit ``k`` applies ceil(sup/k)
+        regardless of the node's depth."""
+        db = random_database(seed=402, num_graphs=9, n=5)
+        tree = db_partition(db, 3)
+        for unit in tree.units():
+            assert resolve_unit_threshold(unit, 10, "paper", k=3) == 4
+            assert resolve_unit_threshold(unit, 3, "paper", k=3) == 1
+
+    def test_math_import_is_module_level(self):
+        """Regression for the hoisted function-local ``import math``."""
+        import math
+
+        from repro.core import partminer
+
+        assert partminer.math is math
+
 
 class TestLosslessEquality:
     """PartMiner (exact unit support) == gSpan on the whole database."""

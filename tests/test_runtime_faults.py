@@ -1,0 +1,266 @@
+"""Fault injection against the parallel unit-mining runtime.
+
+A configurable worker shim (:func:`faulty_worker`) misbehaves in every way
+a real fleet does — crashes (hard process death), hangs past the timeout,
+garbage results, raised exceptions — for the first ``fail_attempts``
+attempts, then recovers.  The suite asserts the engine's contract: retries
+happen, backoff delays are ordered, exhausted units degrade to in-process
+serial mining, and *no fault schedule can change the mined answer*.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.partminer import PartMiner, resolve_unit_threshold
+from repro.mining.gaston import GastonMiner
+from repro.partition.dbpartition import db_partition
+from repro.runtime import (
+    MiningRuntime,
+    RuntimeConfig,
+    UnitMiningError,
+    UnitTask,
+    mine_unit_worker,
+)
+
+from .conftest import random_database
+
+# ----------------------------------------------------------------------
+# The fault-injecting worker shim (top-level: must import in workers).
+# ----------------------------------------------------------------------
+FAULT_MODES = ("crash", "hang", "garbage", "error")
+
+
+def faulty_worker(payload: dict, attempt: int):
+    """Misbehave while ``attempt < fail_attempts``, then mine for real.
+
+    The engine passes the 0-based attempt number into every worker call,
+    which is what makes "fail on the first N calls" deterministic even
+    though each attempt is a fresh process.
+    """
+    if attempt < payload["fail_attempts"]:
+        mode = payload["mode"]
+        if mode == "crash":
+            os._exit(13)
+        if mode == "hang":
+            time.sleep(payload.get("hang_seconds", 60))
+        if mode == "garbage":
+            return {"definitely": "not a pattern list"}
+        if mode == "error":
+            raise ValueError("injected worker failure")
+        raise AssertionError(f"unknown fault mode {mode!r}")
+    return mine_unit_worker(payload["inner"], attempt)
+
+
+# ----------------------------------------------------------------------
+# Shared workload
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    """Small database partitioned into 2 units + the no-fault answer."""
+    db = random_database(seed=77, num_graphs=8, n=6, extra_edges=1)
+    threshold = 3
+    tree = db_partition(db, 2)
+    units = tree.units()
+    thresholds = [
+        resolve_unit_threshold(u, threshold, "exact") for u in units
+    ]
+    clean = [
+        GastonMiner().mine(u.database, t)
+        for u, t in zip(units, thresholds)
+    ]
+    return units, thresholds, clean
+
+
+def faulty_tasks(units, thresholds, mode, fail_attempts, hang_seconds=60):
+    return [
+        UnitTask(
+            index=i,
+            payload={
+                "mode": mode,
+                "fail_attempts": fail_attempts,
+                "hang_seconds": hang_seconds,
+                "inner": {
+                    "graphs": list(unit.database),
+                    "threshold": t,
+                    "max_size": None,
+                },
+            },
+            fallback=make_fallback(unit, t),
+        )
+        for i, (unit, t) in enumerate(zip(units, thresholds))
+    ]
+
+
+def make_fallback(unit, threshold):
+    return lambda: GastonMiner().mine(unit.database, threshold)
+
+
+FAST = dict(backoff_base=0.001, backoff_max=0.01, kill_grace=2.0)
+
+
+# ----------------------------------------------------------------------
+class TestRetries:
+    @pytest.mark.parametrize("mode", FAULT_MODES)
+    def test_one_failure_then_recovery(self, workload, mode):
+        """Each fault kind costs exactly one retry and nothing else."""
+        units, thresholds, clean = workload
+        config = RuntimeConfig(unit_timeout=1.0, max_retries=2, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        result = runtime.run(faulty_tasks(units, thresholds, mode, 1))
+
+        expected_outcome = {
+            "crash": "crash",
+            "hang": "timeout",
+            "garbage": "garbage",
+            "error": "error",
+        }[mode]
+        for record in result.telemetry.units:
+            assert record.status == "ok"
+            assert [a.outcome for a in record.attempts] == [
+                expected_outcome,
+                "ok",
+            ]
+            assert record.failure_causes == [expected_outcome]
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
+
+    def test_error_message_captured(self, workload):
+        units, thresholds, _ = workload
+        config = RuntimeConfig(max_retries=1, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        result = runtime.run(faulty_tasks(units, thresholds, "error", 1))
+        first = result.telemetry.unit(0).attempts[0]
+        assert "injected worker failure" in first.error
+
+    def test_crash_records_worker_pid(self, workload):
+        units, thresholds, _ = workload
+        config = RuntimeConfig(max_retries=1, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        result = runtime.run(faulty_tasks(units, thresholds, "crash", 1))
+        attempts = result.telemetry.unit(0).attempts
+        assert attempts[0].pid is not None
+        assert attempts[0].pid != os.getpid()  # ran out-of-process
+        assert attempts[0].pid != attempts[1].pid  # fresh process per try
+
+
+class TestBackoff:
+    def test_backoff_delays_are_exponential_and_ordered(self, workload):
+        """Recorded sleeps follow base * factor^n, capped, in order."""
+        units, thresholds, _ = workload
+        config = RuntimeConfig(
+            max_retries=3,
+            backoff_base=0.1,
+            backoff_factor=3.0,
+            backoff_max=100.0,
+        )
+        slept: list[float] = []
+        runtime = MiningRuntime(
+            config, worker=faulty_worker, sleep=slept.append
+        )
+        result = runtime.run(
+            faulty_tasks(units[:1], thresholds[:1], "error", 3)
+        )
+        assert slept == [
+            pytest.approx(0.1),
+            pytest.approx(0.3),
+            pytest.approx(0.9),
+        ]
+        assert slept == sorted(slept)
+        # The same delays are recorded on the failed attempts.
+        record = result.telemetry.unit(0)
+        assert [a.backoff for a in record.attempts] == [
+            pytest.approx(0.1),
+            pytest.approx(0.3),
+            pytest.approx(0.9),
+            None,  # the final, successful attempt sleeps nothing
+        ]
+
+    def test_backoff_cap(self):
+        config = RuntimeConfig(
+            backoff_base=1.0, backoff_factor=10.0, backoff_max=5.0
+        )
+        assert config.backoff_delay(0) == 1.0
+        assert config.backoff_delay(1) == 5.0
+        assert config.backoff_delay(9) == 5.0
+
+
+class TestDegradation:
+    def test_fallback_to_serial_preserves_answer(self, workload):
+        """A permanently-broken worker degrades but cannot corrupt."""
+        units, thresholds, clean = workload
+        config = RuntimeConfig(unit_timeout=1.0, max_retries=1, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        result = runtime.run(faulty_tasks(units, thresholds, "crash", 99))
+
+        for record in result.telemetry.units:
+            assert record.status == "degraded"
+            assert [a.outcome for a in record.attempts] == [
+                "crash",
+                "crash",
+                "fallback-serial",
+            ]
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
+            for p in mined:
+                assert p.tids == want.get(p.key).tids
+
+    def test_fallback_none_raises_with_telemetry(self, workload):
+        units, thresholds, _ = workload
+        config = RuntimeConfig(max_retries=1, fallback="none", **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        with pytest.raises(UnitMiningError) as excinfo:
+            runtime.run(faulty_tasks(units, thresholds, "crash", 99))
+        err = excinfo.value
+        assert err.failed == [0, 1]
+        assert err.telemetry.counts() == {"failed": 2}
+
+    def test_mixed_fault_schedule_matches_fault_free_run(self, workload):
+        """Different fault kinds per unit; final patterns identical."""
+        units, thresholds, clean = workload
+        config = RuntimeConfig(unit_timeout=1.0, max_retries=2, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        tasks = faulty_tasks(units, thresholds, "crash", 2)
+        tasks[1] = faulty_tasks(units, thresholds, "hang", 1)[1]
+        result = runtime.run(tasks)
+        assert result.telemetry.unit(0).status == "ok"  # 2 crashes, then ok
+        assert result.telemetry.unit(1).status == "ok"  # 1 hang, then ok
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
+
+
+class TestEndToEnd:
+    def test_parallel_partminer_reports_telemetry(self):
+        """PartMiner(parallel_units=True) surfaces runtime telemetry and
+        matches the serial run exactly."""
+        db = random_database(seed=78, num_graphs=8, n=6, extra_edges=1)
+        serial = PartMiner(k=2, unit_support="exact").mine(db, 3)
+        parallel = PartMiner(
+            k=2,
+            unit_support="exact",
+            parallel_units=True,
+            runtime=RuntimeConfig(max_workers=2),
+        ).mine(db, 3)
+        assert parallel.patterns.keys() == serial.patterns.keys()
+        assert parallel.telemetry is not None
+        assert parallel.telemetry.counts() == {"ok": 2}
+        assert serial.telemetry is None
+        # Unit times come from real per-unit telemetry, not an even split.
+        assert parallel.unit_times == [
+            r.wall_time for r in parallel.telemetry.units
+        ]
+
+    def test_telemetry_summary_shape(self, workload):
+        units, thresholds, _ = workload
+        config = RuntimeConfig(max_retries=1, **FAST)
+        runtime = MiningRuntime(config, worker=faulty_worker)
+        result = runtime.run(faulty_tasks(units, thresholds, "error", 1))
+        summary = result.telemetry.summary()
+        assert summary["units"] == 2
+        assert summary["statuses"] == {"ok": 2}
+        assert summary["attempts"] == 4
+        assert summary["retries"] == 2
+        assert "ok" in result.telemetry.format_summary()
