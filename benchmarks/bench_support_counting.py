@@ -1,0 +1,130 @@
+"""Support-counting acceleration: VF2 work with the layer off vs on.
+
+A fixed seeded workload — one PartMiner session, two incremental update
+batches, and two match-style re-count passes — runs twice over the same
+database: once with the acceleration layer disabled (reference matcher
+only) and once with it enabled (compiled plans + fingerprints + shared
+support cache).  Both runs must mine identical pattern sets at every
+checkpoint; the figure of merit is the number of backtracking searches
+actually entered (``vf2_calls``), which the accelerated run must cut at
+least in half (the CI gate re-checks ``accel <= baseline``).
+
+Persists ``benchmarks/results/BENCH_support.json`` with patterns/sec,
+isomorphism-test counts, the reduction factor and the cache hit rate.
+"""
+
+import time
+
+from repro import perf
+from repro.bench.harness import Experiment
+from repro.core.incremental import IncrementalPartMiner
+from repro.datagen.synthetic import generate_dataset
+from repro.graph.isomorphism import count_support
+from repro.updates.generator import UpdateGenerator
+
+from .conftest import finish, run_once
+
+DATASET = "D80T10N12L20I4"
+MINSUP = 0.1
+UPDATE_BATCHES = 2
+MATCH_PASSES = 2
+
+
+def _workload(db, accelerated):
+    """One full session; returns (checkpoints, counters delta, digest)."""
+    before = perf.snapshot()
+    start = time.perf_counter()
+    context = perf.disabled() if not accelerated else None
+    if context is not None:
+        context.__enter__()
+    try:
+        cache = perf.SupportCache()
+        miner = IncrementalPartMiner(k=2, max_size=5, support_cache=cache)
+        result = miner.initial_mine(db, MINSUP)
+        checkpoints = [result.patterns]
+        generator = UpdateGenerator(
+            num_vertex_labels=12, num_edge_labels=3, seed=5
+        )
+        for _ in range(UPDATE_BATCHES):
+            updates = generator.generate(
+                miner.database, miner.ufreq, fraction_graphs=0.3
+            )
+            checkpoints.append(miner.apply_updates(updates).patterns)
+        for _ in range(MATCH_PASSES):
+            for pattern in checkpoints[-1]:
+                count_support(
+                    pattern.graph, miner.database, cache=cache,
+                    key=pattern.key,
+                )
+        digest = {
+            "elapsed": time.perf_counter() - start,
+            "patterns": len(checkpoints[-1]),
+            "cache": cache.stats(),
+        }
+    finally:
+        if context is not None:
+            context.__exit__(None, None, None)
+    return checkpoints, perf.delta_since(before), digest
+
+
+def test_support_counting_acceleration(benchmark):
+    def sweep():
+        db = generate_dataset(DATASET, seed=7)
+
+        base_patterns, base_delta, base = _workload(db, accelerated=False)
+        accel_patterns, accel_delta, accel = _workload(db, accelerated=True)
+
+        # Behaviour preservation: every checkpoint's pattern set matches.
+        for got, want in zip(accel_patterns, base_patterns):
+            assert got.keys() == want.keys()
+            for p in got:
+                assert p.support == want.get(p.key).support
+                assert p.tids == want.get(p.key).tids
+
+        exp = Experiment(
+            "BENCH_support",
+            f"Support-counting acceleration ({DATASET}, minsup={MINSUP})",
+            "mode (0=baseline, 1=accelerated)",
+            "value",
+        )
+        vf2 = exp.new_series("VF2 searches entered")
+        rate = exp.new_series("patterns/sec")
+        for x, (delta, digest) in enumerate(
+            [(base_delta, base), (accel_delta, accel)]
+        ):
+            vf2.add(x, delta.vf2_calls)
+            rate.add(x, digest["patterns"] / digest["elapsed"])
+
+        reduction = base_delta.vf2_calls / max(1, accel_delta.vf2_calls)
+        exp.notes["workload"] = {
+            "dataset": DATASET,
+            "minsup": MINSUP,
+            "update_batches": UPDATE_BATCHES,
+            "match_passes": MATCH_PASSES,
+        }
+        exp.notes["baseline"] = {
+            "vf2_calls": base_delta.vf2_calls,
+            "isomorphism_tests": base_delta.vf2_calls
+            + base_delta.quick_rejects,
+            "elapsed": round(base["elapsed"], 4),
+        }
+        exp.notes["accelerated"] = {
+            "vf2_calls": accel_delta.vf2_calls,
+            "fingerprint_rejects": accel_delta.fingerprint_rejects,
+            "quick_rejects": accel_delta.quick_rejects,
+            "elapsed": round(accel["elapsed"], 4),
+            "cache": accel["cache"],
+        }
+        exp.notes["vf2_reduction_factor"] = round(reduction, 3)
+        exp.notes["cache_hit_rate"] = accel["cache"]["hit_rate"]
+        return exp
+
+    exp = run_once(benchmark, sweep)
+    finish(exp)
+
+    baseline_vf2, accel_vf2 = exp.series[0].ys()
+    # The CI gate: acceleration must never *add* backtracking searches,
+    # and on this fixed workload it must at least halve them.
+    assert accel_vf2 <= baseline_vf2
+    assert exp.notes["vf2_reduction_factor"] >= 2.0
+    assert exp.notes["cache_hit_rate"] > 0.0

@@ -26,6 +26,7 @@ BENCHES = [
     "bench_fig15_units.py",
     "bench_fig16_scalability.py",
     "bench_fig17_updates.py",
+    "bench_support_counting.py",
     "bench_ablation_support.py",
     "bench_ablation_joins.py",
     "bench_ablation_miners.py",

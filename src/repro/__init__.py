@@ -47,7 +47,9 @@ from .mining import (
     save_patterns,
     validate,
 )
+from . import perf
 from .mining.adi import ADIMiner
+from .perf import SupportCache
 from .query import MatchResult, Occurrence, coverage, match, match_patterns
 from .runtime import (
     CheckpointStore,
@@ -107,6 +109,7 @@ __all__ = [
     "RelabelVertex",
     "RunTelemetry",
     "RuntimeConfig",
+    "SupportCache",
     "SyntheticGenerator",
     "UpdateGenerator",
     "apply_updates",
@@ -127,6 +130,7 @@ __all__ = [
     "match",
     "match_patterns",
     "min_dfs_code",
+    "perf",
     "run_unit_mining",
     "subgraph_exists",
 ]

@@ -260,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PartMiner: partition-based graph mining (ICDE 2006)",
     )
+    parser.add_argument(
+        "--no-accel", action="store_true",
+        help="disable the support-counting acceleration layer "
+             "(match plans, fingerprints, support cache); equivalent to "
+             "setting REPRO_NO_ACCEL=1",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="synthesize a graph database")
@@ -359,6 +365,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_accel:
+        from . import perf
+
+        perf.set_enabled(False)
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import perf
 from ..graph.database import GraphDatabase
 from ..graph.isomorphism import subgraph_exists
 from ..mining.base import Pattern, PatternKey, PatternSet
@@ -131,12 +132,19 @@ class IncrementalPartMiner:
         recheck_known: bool = False,
         unit_remine: str = "full",
         runtime: object | None = None,
+        support_cache: object | None = None,
     ) -> None:
         """``runtime`` (a :class:`~repro.runtime.config.RuntimeConfig`)
         re-mines affected units through the fault-tolerant parallel
         runtime instead of in-process, recording execution telemetry on
         ``stats.runtime_telemetry``.  It applies to ``unit_remine='full'``
-        (the ``'selective'`` single-unit patcher stays in-process)."""
+        (the ``'selective'`` single-unit patcher stays in-process).
+
+        ``support_cache`` (a :class:`~repro.perf.SupportCache`; one is
+        created when omitted) is shared by the initial mine and every
+        incremental re-merge: containment verdicts for graphs an update
+        batch did not touch are reused verbatim, and touched graphs
+        invalidate themselves through their version counters."""
         if unit_remine not in ("full", "selective"):
             raise ValueError(
                 f"unit_remine must be 'full' or 'selective': {unit_remine!r}"
@@ -150,6 +158,9 @@ class IncrementalPartMiner:
         self.recheck_known = recheck_known
         self.unit_remine = unit_remine
         self.runtime = runtime
+        self.support_cache = (
+            support_cache if support_cache is not None else perf.SupportCache()
+        )
         self._database: GraphDatabase | None = None
         self._ufreq: UfreqMap | None = None
         self._result: PartMinerResult | None = None
@@ -198,6 +209,7 @@ class IncrementalPartMiner:
             unit_support=self.unit_support,
             strict_paper_joins=self.strict_paper_joins,
             max_size=self.max_size,
+            support_cache=self.support_cache,
         )
         self._result = miner.mine(
             self._database, self._threshold, ufreq=self._ufreq
@@ -538,6 +550,7 @@ class IncrementalPartMiner:
             max_size=self.max_size,
             stats=merge_stats,
             known=node_known(key),
+            support_cache=self.support_cache,
         )
         stats.known_reused += merge_stats.known_reused
         node_results[key] = merged

@@ -13,8 +13,10 @@ seeds with TID lists inherited from the children.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable
 
+from .. import perf
 from ..graph.canonical import canonical_code
 from ..graph.database import GraphDatabase
 from ..graph.isomorphism import subgraph_exists
@@ -26,14 +28,26 @@ from ..graph.operations import (
 )
 from ..mining.base import Pattern, PatternKey
 from ..mining.edges import EdgeTriple, normalize_triple
+from ..perf.counters import COUNTERS
+
+# Edge triples are recomputed for the same pattern graph at every level it
+# is carried to, in every merge round and in every prune-set check; the
+# version-stamped weak cache makes each graph pay once per mutation.
+_TRIPLES_CACHE: "weakref.WeakKeyDictionary[LabeledGraph, tuple]"
+_TRIPLES_CACHE = weakref.WeakKeyDictionary()
 
 
-def pattern_edge_triples(graph: LabeledGraph) -> set[EdgeTriple]:
-    """The normalized label triples of a pattern's edges."""
-    return {
+def pattern_edge_triples(graph: LabeledGraph) -> frozenset[EdgeTriple]:
+    """The normalized label triples of a pattern's edges (memoized)."""
+    entry = _TRIPLES_CACHE.get(graph)
+    if entry is not None and entry[0] == graph.version:
+        return entry[1]
+    triples = frozenset(
         normalize_triple(graph.vertex_label(u), elabel, graph.vertex_label(v))
         for u, v, elabel in graph.edges()
-    }
+    )
+    _TRIPLES_CACHE[graph] = (graph.version, triples)
+    return triples
 
 
 class SupportCounter:
@@ -43,10 +57,22 @@ class SupportCounter:
     counted only over graphs containing all of its edge triples, seeded by
     TID lists already known from child levels (a piece's supporting graph
     also supports the pattern at the parent level).
+
+    With the acceleration layer enabled, candidates are additionally
+    filtered by per-graph invariant fingerprints (degree-by-label and
+    1-round neighborhood domination), and an optional shared
+    :class:`~repro.perf.SupportCache` memoizes per-graph containment
+    verdicts under the pattern's canonical key — verdicts survive across
+    merge levels that share graph instances and across update batches.
     """
 
-    def __init__(self, database: GraphDatabase) -> None:
+    def __init__(
+        self,
+        database: GraphDatabase,
+        cache: "perf.SupportCache | None" = None,
+    ) -> None:
         self.database = database
+        self.cache = cache
         self._triple_index: dict[EdgeTriple, set[int]] = {}
         for gid, graph in database:
             for u, v, elabel in graph.edges():
@@ -54,10 +80,19 @@ class SupportCounter:
                     graph.vertex_label(u), elabel, graph.vertex_label(v)
                 )
                 self._triple_index.setdefault(triple, set()).add(gid)
-        self.isomorphism_tests = 0
+        self.isomorphism_tests = 0  # graphs submitted to an existence check
+        self.vf2_tests = 0  # backtracking searches actually entered
+        self.fingerprint_rejects = 0  # candidates killed by fingerprints
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def candidate_gids(self, pattern: LabeledGraph) -> set[int]:
-        """Gids of graphs containing every edge triple of ``pattern``."""
+        """Gids of graphs that pass every cheap containment filter.
+
+        Intersects the edge-triple index (as always), then — when the
+        acceleration layer is on — drops candidates whose fingerprint
+        rules the pattern out without a search.
+        """
         candidates: set[int] | None = None
         for triple in pattern_edge_triples(pattern):
             gids = self._triple_index.get(triple)
@@ -66,13 +101,26 @@ class SupportCounter:
             candidates = set(gids) if candidates is None else candidates & gids
             if not candidates:
                 return set()
-        return candidates if candidates is not None else set()
+        if candidates is None:
+            return set()
+        if candidates and perf.enabled():
+            profile = perf.get_match_plan(pattern).profile
+            database = self.database
+            admitted = set()
+            for gid in candidates:
+                if perf.get_fingerprint(database[gid]).admits(profile):
+                    admitted.add(gid)
+                else:
+                    self.fingerprint_rejects += 1
+            candidates = admitted
+        return candidates
 
     def count(
         self,
         pattern: LabeledGraph,
         known_tids: frozenset[int] = frozenset(),
         restrict: frozenset[int] | None = None,
+        key: PatternKey | None = None,
     ) -> tuple[int, frozenset[int]]:
         """Support of ``pattern`` in the level dataset.
 
@@ -80,16 +128,47 @@ class SupportCounter:
         (e.g. from child-level TID lists); they are not re-tested.
         ``restrict`` is a sound upper bound on the supporting set (e.g. the
         intersection of the level supports of a join candidate's two
-        generators) — graphs outside it are skipped entirely.
+        generators) — graphs outside it are skipped entirely.  ``key`` is
+        the pattern's canonical key, used to address the shared support
+        cache; when omitted it is derived on demand.
         """
         supporting = set(known_tids)
         untested = self.candidate_gids(pattern) - supporting
         if restrict is not None:
             untested &= restrict
+        cache = self.cache
+        use_cache = cache is not None and perf.enabled()
+        if use_cache and key is None:
+            try:
+                key = canonical_code(pattern)
+            except ValueError:  # disconnected/empty: not cacheable
+                use_cache = False
+        database = self.database
         for gid in untested:
+            graph = database[gid]
+            if use_cache:
+                verdict = cache.get(key, graph)
+                if verdict is not None:
+                    self.cache_hits += 1
+                    if verdict:
+                        supporting.add(gid)
+                    continue
+                self.cache_misses += 1
             self.isomorphism_tests += 1
-            if subgraph_exists(pattern, self.database[gid]):
+            before = COUNTERS.vf2_calls
+            hit = subgraph_exists(pattern, graph)
+            self.vf2_tests += COUNTERS.vf2_calls - before
+            if use_cache:
+                cache.put(key, graph, hit)
+            if hit:
                 supporting.add(gid)
+        if use_cache:
+            # Child-level TIDs are sound positives at this level too (the
+            # piece embeds in the level graph); memoize them so ancestor
+            # levels sharing these instances skip the test entirely.
+            for gid in known_tids:
+                if gid in database:
+                    cache.put(key, database[gid], True)
         return len(supporting), frozenset(supporting)
 
 

@@ -32,13 +32,25 @@ from .join import SupportCounter, join_patterns, pattern_edge_triples
 
 @dataclass
 class MergeJoinStats:
-    """Work counters of one merge-join invocation."""
+    """Work counters of one merge-join invocation.
+
+    ``isomorphism_tests`` counts graphs submitted to an existence check
+    (the historical metric); ``vf2_tests`` counts backtracking searches
+    actually entered — the difference is work the fingerprint prefilters
+    absorbed inside the matcher.  ``fingerprint_rejects`` counts
+    candidate graphs dropped before submission, and the cache counters
+    describe the shared support cache when one was passed in.
+    """
 
     carried_patterns: int = 0
     carried_pruned: int = 0
     candidates_generated: int = 0
     candidates_frequent: int = 0
     isomorphism_tests: int = 0
+    vf2_tests: int = 0
+    fingerprint_rejects: int = 0
+    support_cache_hits: int = 0
+    support_cache_misses: int = 0
     rounds: int = 0
     known_reused: int = 0
     extras: dict = field(default_factory=dict)
@@ -53,6 +65,7 @@ def merge_join(
     max_size: int | None = None,
     stats: MergeJoinStats | None = None,
     known: PatternSet | None = None,
+    support_cache: object | None = None,
 ) -> PatternSet:
     """Combine the frequent patterns of two sibling partitions.
 
@@ -77,6 +90,10 @@ def merge_join(
         and candidates whose canonical key appears here are accepted
         without re-counting their support — this is ``IncMergeJoin``'s
         "eliminate the generation of unchanged candidate graphs" saving.
+    support_cache:
+        Optional :class:`~repro.perf.SupportCache` shared across levels
+        (and across re-mines): per-graph containment verdicts are read
+        and written under each pattern's canonical key.
 
     Returns
     -------
@@ -85,7 +102,7 @@ def merge_join(
         TID lists against ``S``.
     """
     stats = stats if stats is not None else MergeJoinStats()
-    counter = SupportCounter(dataset)
+    counter = SupportCounter(dataset, cache=support_cache)
     result = PatternSet()
 
     # Line 1: frequent 1-edge patterns come from a direct scan of S.
@@ -131,7 +148,7 @@ def merge_join(
                 tids=vouched.tids,
             )
         else:
-            support, tids = counter.count(pattern.graph, pattern.tids)
+            support, tids = counter.count(pattern.graph, pattern.tids, key=key)
             evaluated[key] = Pattern(
                 graph=pattern.graph, key=key, support=support, tids=tids
             )
@@ -198,7 +215,7 @@ def merge_join(
             if not pattern_edge_triples(graph) <= allowed_triples:
                 evaluated[key] = Pattern(graph, key, 0, frozenset())
                 continue
-            support, tids = counter.count(graph, restrict=bound)
+            support, tids = counter.count(graph, restrict=bound, key=key)
             pattern = Pattern(graph=graph, key=key, support=support, tids=tids)
             evaluated[key] = pattern
             if support >= threshold:
@@ -208,4 +225,8 @@ def merge_join(
         size += 1
 
     stats.isomorphism_tests += counter.isomorphism_tests
+    stats.vf2_tests += counter.vf2_tests
+    stats.fingerprint_rejects += counter.fingerprint_rejects
+    stats.support_cache_hits += counter.cache_hits
+    stats.support_cache_misses += counter.cache_misses
     return result

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from .. import perf
 from ..graph.database import GraphDatabase
 from ..mining.base import PatternSet
 from ..mining.gaston import GastonMiner
@@ -71,6 +72,7 @@ class PartMinerResult:
     merge_stats: dict[tuple[int, int], MergeJoinStats]
     partition_time: float = 0.0
     telemetry: object | None = None  # RunTelemetry when parallel_units ran
+    support_cache: object | None = None  # SupportCache the merges shared
 
     @property
     def aggregate_time(self) -> float:
@@ -135,6 +137,12 @@ class PartMiner:
         are persisted here as they finish; re-running with the same
         directory resumes, skipping finished units.  Telemetry is saved
         alongside as ``telemetry.json``.
+    support_cache:
+        A :class:`~repro.perf.SupportCache` shared by every merge-join of
+        the run.  When ``None`` (the default) a private cache is created
+        per :meth:`mine` call; pass a long-lived cache to carry
+        containment verdicts across runs on the same database (what
+        :class:`~repro.core.incremental.IncrementalPartMiner` does).
     """
 
     k: int = 2
@@ -146,6 +154,7 @@ class PartMiner:
     parallel_units: bool = False
     runtime: object | None = None  # RuntimeConfig
     run_dir: str | Path | None = None
+    support_cache: object | None = None  # SupportCache
 
     def mine(
         self,
@@ -159,6 +168,12 @@ class PartMiner:
         partitioning criteria (zeros when omitted — pure connectivity).
         """
         threshold = database.absolute_support(min_support)
+        support_cache = (
+            self.support_cache
+            if self.support_cache is not None
+            else perf.SupportCache()
+        )
+        counters_before = perf.snapshot()
 
         t0 = time.perf_counter()
         tree = db_partition(
@@ -176,6 +191,7 @@ class PartMiner:
             merge_times={},
             merge_stats={},
             partition_time=partition_time,
+            support_cache=support_cache,
         )
 
         # Phase 2a: mine the units (serially, or in a real process pool).
@@ -229,7 +245,14 @@ class PartMiner:
                 result.node_results[(unit.depth, unit.index)] = mined
 
         # Phase 2b: recombine bottom-up along the tree.
-        result.patterns = self._combine(tree.root, threshold, result)
+        result.patterns = self._combine(
+            tree.root, threshold, result, support_cache
+        )
+        if result.telemetry is not None:
+            result.telemetry.perf = {
+                "support_cache": support_cache.stats(),
+                "counters": perf.delta_since(counters_before).to_dict(),
+            }
         return result
 
     # ------------------------------------------------------------------
@@ -238,12 +261,17 @@ class PartMiner:
         node: PartitionNode,
         root_threshold: int,
         result: PartMinerResult,
+        support_cache: object,
     ) -> PatternSet:
         key = (node.depth, node.index)
         if node.is_leaf:
             return result.node_results[key]
-        left = self._combine(node.children[0], root_threshold, result)
-        right = self._combine(node.children[1], root_threshold, result)
+        left = self._combine(
+            node.children[0], root_threshold, result, support_cache
+        )
+        right = self._combine(
+            node.children[1], root_threshold, result, support_cache
+        )
         stats = MergeJoinStats()
         t0 = time.perf_counter()
         merged = merge_join(
@@ -254,6 +282,7 @@ class PartMiner:
             strict_paper_joins=self.strict_paper_joins,
             max_size=self.max_size,
             stats=stats,
+            support_cache=support_cache,
         )
         result.merge_times[key] = time.perf_counter() - t0
         result.merge_stats[key] = stats

@@ -270,8 +270,18 @@ def canonical_code(graph: LabeledGraph) -> tuple[CodeKey, ...]:
     """Hashable canonical key of a connected graph.
 
     Two connected graphs are isomorphic iff their canonical codes are equal.
+
+    The key is memoized on the graph against its ``version`` counter (the
+    same scheme as the histogram cache), so repeated canonicalization of a
+    long-lived pattern graph — join inputs recur across levels, nodes and
+    update batches — costs a tuple compare after the first call.
     """
-    return min_dfs_code(graph).sort_key()
+    cached = graph._canon
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    code = min_dfs_code(graph).sort_key()
+    graph._canon = (graph.version, code)
+    return code
 
 
 def is_min_code(code: Sequence[DFSEdge]) -> bool:

@@ -10,12 +10,23 @@ preserves vertex labels and maps every pattern edge onto a target edge with
 the same label.  The target may have extra edges between mapped vertices
 (non-induced / monomorphism semantics, which is what frequent subgraph mining
 uses).
+
+Existence checks (:func:`subgraph_exists`, and :func:`count_support` built
+on it) are served by the acceleration layer (:mod:`repro.perf`) by default:
+a compiled per-pattern match plan, per-graph invariant fingerprints and an
+iterative matcher replace the from-scratch recursive search.  The original
+path survives as :func:`subgraph_exists_reference` — the differential
+baseline, and what every call falls back to when the layer is disabled.
+:func:`find_embeddings` (full enumeration) is unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+from .. import perf
+from ..perf.counters import COUNTERS
+from .canonical import canonical_code
 from .database import GraphDatabase
 from .labeled_graph import LabeledGraph
 
@@ -185,7 +196,30 @@ def subgraph_exists(
     """True if ``pattern`` is subgraph-isomorphic to ``target``.
 
     ``induced=True`` switches to induced-subgraph semantics.
+
+    Uses the accelerated matcher (:mod:`repro.perf`) unless the layer is
+    globally disabled; both paths return identical verdicts.
     """
+    if perf.enabled():
+        return perf.accel_subgraph_exists(pattern, target, induced=induced)
+    return subgraph_exists_reference(pattern, target, induced=induced)
+
+
+def subgraph_exists_reference(
+    pattern: LabeledGraph, target: LabeledGraph, induced: bool = False
+) -> bool:
+    """The unaccelerated existence check (differential baseline).
+
+    Identical semantics to :func:`subgraph_exists`; always runs the
+    recursive reference matcher with only the histogram quick-reject in
+    front, and maintains the same global work counters so benchmarks can
+    compare searches entered with the layer off and on.
+    """
+    if _quick_reject(pattern, target):
+        COUNTERS.quick_rejects += 1
+        return False
+    if pattern.num_vertices > 0:
+        COUNTERS.vf2_calls += 1
     for _ in find_embeddings(pattern, target, limit=1, induced=induced):
         return True
     return False
@@ -205,18 +239,43 @@ def count_support(
     database: GraphDatabase,
     candidate_gids: set[int] | None = None,
     induced: bool = False,
+    cache: "perf.SupportCache | None" = None,
+    key: tuple | None = None,
 ) -> tuple[int, set[int]]:
     """Count the database graphs containing ``pattern``.
 
     ``candidate_gids`` restricts the scan to those gids (the rest count as
-    non-supporting); pass ``None`` to scan the whole database; ``induced``
-    switches to induced-subgraph semantics.  Returns
+    non-supporting) via direct lookup — the cost scales with the candidate
+    set, not the database; pass ``None`` to scan the whole database;
+    ``induced`` switches to induced-subgraph semantics.  Returns
     ``(support, supporting_gids)``.
+
+    ``cache`` memoizes per-graph containment verdicts across calls
+    (:class:`repro.perf.SupportCache`); ``key`` is the pattern's canonical
+    key if already known — when omitted it is derived (and memoized on the
+    pattern) the first time the cache is consulted.
     """
+    if candidate_gids is None:
+        items: Iterator[tuple[int, LabeledGraph]] = iter(database)
+    else:
+        items = (
+            (gid, database[gid]) for gid in candidate_gids if gid in database
+        )
+    use_cache = cache is not None and perf.enabled()
+    if use_cache and key is None:
+        try:
+            key = canonical_code(pattern)
+        except ValueError:  # empty or disconnected pattern: no canonical key
+            use_cache = False
     supporting: set[int] = set()
-    for gid, graph in database:
-        if candidate_gids is not None and gid not in candidate_gids:
-            continue
-        if subgraph_exists(pattern, graph, induced=induced):
+    for gid, graph in items:
+        if use_cache:
+            verdict = cache.get(key, graph, induced=induced)
+            if verdict is None:
+                verdict = subgraph_exists(pattern, graph, induced=induced)
+                cache.put(key, graph, verdict, induced=induced)
+        else:
+            verdict = subgraph_exists(pattern, graph, induced=induced)
+        if verdict:
             supporting.add(gid)
     return len(supporting), supporting

@@ -28,7 +28,15 @@ class LabeledGraph:
     by their owners.
     """
 
-    __slots__ = ("_vertex_labels", "_adj", "_num_edges", "version", "_hist")
+    __slots__ = (
+        "_vertex_labels",
+        "_adj",
+        "_num_edges",
+        "version",
+        "_hist",
+        "_canon",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self._vertex_labels: list[Label] = []
@@ -36,6 +44,7 @@ class LabeledGraph:
         self._num_edges = 0
         self.version = 0
         self._hist: tuple | None = None  # (version, vertex_counts, edge_counts)
+        self._canon: tuple | None = None  # (version, canonical code)
 
     # ------------------------------------------------------------------
     # Construction
@@ -156,6 +165,15 @@ class LabeledGraph:
     def neighbors(self, v: int) -> Iterator[tuple[int, Label]]:
         """Yield ``(neighbor, edge_label)`` pairs of vertex ``v``."""
         return iter(self._adj[v].items())
+
+    def adjacency(self, v: int) -> dict[int, Label]:
+        """The live neighbor -> edge-label mapping of vertex ``v``.
+
+        This is the internal adjacency row, exposed for allocation-free
+        inner loops (the accelerated matcher); callers must treat it as
+        read-only.
+        """
+        return self._adj[v]
 
     def neighbor_ids(self, v: int) -> Iterator[int]:
         return iter(self._adj[v])

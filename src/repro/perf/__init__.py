@@ -1,0 +1,89 @@
+"""Support-counting acceleration layer (match plans, fingerprints, cache).
+
+Three cooperating mechanisms make ``CheckFrequency`` cheap:
+
+* :mod:`repro.perf.matchplan` — per-pattern compiled matching state and an
+  iterative, allocation-light existence matcher;
+* :mod:`repro.perf.fingerprint` — per-graph containment-monotone
+  invariants that reject most non-supporting graphs without a search;
+* :mod:`repro.perf.cache` — a canonical-key -> per-graph containment memo
+  shared across partition-tree levels and update batches.
+
+All fast paths are behaviour-preserving: the differential test-suite pins
+them against the reference matcher.  The layer can be switched off
+globally (``set_enabled(False)``, the CLI ``--no-accel`` flag, or the
+``REPRO_NO_ACCEL`` environment variable), which routes every existence
+check through the original recursive matcher — the escape hatch and the
+baseline the benchmarks compare against.
+
+Work counters live in :mod:`repro.perf.counters` (re-exported for
+benchmark code as :mod:`repro.bench.counters`).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .cache import SupportCache
+from .counters import (
+    COUNTERS,
+    PerfCounters,
+    delta_since,
+    global_counters,
+    reset_counters,
+    snapshot,
+)
+from .fingerprint import GraphFingerprint, PatternProfile, get_fingerprint
+from .matchplan import (
+    MatchPlan,
+    accel_subgraph_exists,
+    get_match_plan,
+    plan_exists,
+)
+
+_ENABLED = not os.environ.get("REPRO_NO_ACCEL")
+
+
+def enabled() -> bool:
+    """True when the acceleration layer is globally active."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch the layer on or off; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled():
+    """Run a block on the unaccelerated reference paths (for testing)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+__all__ = [
+    "COUNTERS",
+    "GraphFingerprint",
+    "MatchPlan",
+    "PatternProfile",
+    "PerfCounters",
+    "SupportCache",
+    "accel_subgraph_exists",
+    "delta_since",
+    "disabled",
+    "enabled",
+    "get_fingerprint",
+    "get_match_plan",
+    "global_counters",
+    "plan_exists",
+    "reset_counters",
+    "set_enabled",
+    "snapshot",
+]

@@ -1,0 +1,83 @@
+"""Global work counters of the support-counting acceleration layer.
+
+Every fast path in :mod:`repro.perf` increments these process-wide
+counters, so benchmarks and the CI perf gate can measure *work avoided*
+(isomorphism searches skipped, candidates rejected by fingerprints,
+support verdicts served from cache) independently of wall-clock noise.
+
+``vf2_calls`` is the headline number: it counts backtracking subgraph
+searches **actually entered**, in both the accelerated matcher and the
+reference recursive matcher, after their respective prefilters.  Running
+the same workload with acceleration off and on and comparing the two
+deltas is how ``benchmarks/bench_support_counting.py`` computes the
+reduction factor.
+
+The module is re-exported as :mod:`repro.bench.counters` for benchmark
+code; the implementation lives here so the hot modules
+(:mod:`repro.graph.isomorphism`, :mod:`repro.core.join`) can import it
+without pulling in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass
+class PerfCounters:
+    """Monotonic work counters (see module docstring for semantics)."""
+
+    vf2_calls: int = 0  # backtracking searches entered (both matchers)
+    quick_rejects: int = 0  # size/label-histogram rejections
+    fingerprint_rejects: int = 0  # degree/neighborhood fingerprint rejections
+    plan_compiles: int = 0  # match plans built
+    plan_hits: int = 0  # match plans served from cache
+    fingerprint_builds: int = 0  # graph fingerprints built
+    fingerprint_hits: int = 0  # fingerprints served from cache
+    support_cache_hits: int = 0  # containment verdicts served from cache
+    support_cache_misses: int = 0  # cache consulted, no (fresh) verdict
+    support_cache_stores: int = 0  # verdicts written to a cache
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy (freeze a point in time)."""
+        return replace(self)
+
+    def delta(self, since: "PerfCounters") -> "PerfCounters":
+        """Counter increments accumulated after ``since`` was snapshot."""
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter instance every fast path increments.
+COUNTERS = PerfCounters()
+
+
+def global_counters() -> PerfCounters:
+    """The live global counter object (mutating it is the API)."""
+    return COUNTERS
+
+
+def snapshot() -> PerfCounters:
+    """Freeze the current global counter values."""
+    return COUNTERS.snapshot()
+
+
+def delta_since(since: PerfCounters) -> PerfCounters:
+    """Global counter increments since a :func:`snapshot`."""
+    return COUNTERS.delta(since)
+
+
+def reset_counters() -> None:
+    """Zero the global counters (benchmark/test isolation)."""
+    COUNTERS.reset()

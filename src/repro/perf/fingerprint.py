@@ -1,0 +1,196 @@
+"""Per-graph invariant fingerprints for cheap containment rejection.
+
+A :class:`GraphFingerprint` summarizes one database graph with invariants
+that are *monotone* under subgraph containment: if pattern ``P`` embeds in
+target ``G`` (induced or not), every invariant of ``P`` is dominated by the
+corresponding invariant of ``G``.  Checking domination costs a few dict
+lookups and comparisons, so most non-supporting graphs are rejected before
+any backtracking search starts.
+
+Layers, from cheapest to strongest:
+
+1. vertex/edge counts;
+2. vertex- and edge-label histograms (what ``_quick_reject`` already did);
+3. degree-by-label domination: for each vertex label, the sorted-descending
+   degree sequence of the target must pointwise dominate the pattern's
+   (every pattern vertex needs a distinct same-label image of at least its
+   degree — sorted comparison is a sound relaxation of the matching);
+4. 1-round neighborhood requirement: every pattern vertex needs some
+   same-label target vertex of sufficient degree whose set of incident
+   ``(edge_label, neighbor_label)`` pairs contains the pattern vertex's.
+
+All four layers are sound for both monomorphism and induced embedding
+semantics (an induced embedding is in particular a monomorphism).
+
+Fingerprints are cached per graph instance and invalidated by the graph's
+``version`` counter, so mutated or replaced graphs never serve stale
+invariants.  :meth:`repro.graph.database.GraphDatabase.fingerprint` exposes
+the cache per gid.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from ..graph.labeled_graph import Label, LabeledGraph
+from .counters import COUNTERS
+
+#: Incident-edge signature of one vertex: {(edge_label, neighbor_label)}.
+PairSet = frozenset
+
+
+class GraphFingerprint:
+    """Containment-monotone invariants of one graph (see module docs)."""
+
+    __slots__ = (
+        "version",
+        "num_vertices",
+        "num_edges",
+        "vertex_hist",
+        "edge_hist",
+        "vertices_by_label",
+        "degrees_by_label",
+        "vertex_entries",
+    )
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self.version = graph.version
+        self.num_vertices = graph.num_vertices
+        self.num_edges = graph.num_edges
+        vertex_hist, edge_hist = graph.label_histogram()
+        self.vertex_hist = vertex_hist
+        self.edge_hist = edge_hist
+
+        by_label: dict[Label, list[int]] = {}
+        for v in graph.vertices():
+            by_label.setdefault(graph.vertex_label(v), []).append(v)
+
+        self.vertices_by_label: dict[Label, tuple[int, ...]] = {}
+        self.degrees_by_label: dict[Label, tuple[int, ...]] = {}
+        # Per label, (degree, pair-set) of every vertex, degree-descending,
+        # so requirement scans can stop at the first too-small degree.
+        self.vertex_entries: dict[Label, tuple[tuple[int, PairSet], ...]] = {}
+        for label, vertex_ids in by_label.items():
+            entries = []
+            for v in vertex_ids:
+                pairs = frozenset(
+                    (elabel, graph.vertex_label(w))
+                    for w, elabel in graph.neighbors(v)
+                )
+                entries.append((graph.degree(v), pairs))
+            entries.sort(key=lambda entry: -entry[0])
+            self.vertices_by_label[label] = tuple(vertex_ids)
+            self.degrees_by_label[label] = tuple(d for d, _ in entries)
+            self.vertex_entries[label] = tuple(entries)
+
+    # ------------------------------------------------------------------
+    def reject_reason(self, profile: "PatternProfile") -> str | None:
+        """Why ``profile``'s pattern cannot embed here, or ``None``.
+
+        Reasons ``'counts'`` and ``'histogram'`` replicate the classic
+        quick-reject; ``'degree'`` and ``'neighborhood'`` are the extra
+        power of the fingerprint layers.
+        """
+        if (
+            profile.num_vertices > self.num_vertices
+            or profile.num_edges > self.num_edges
+        ):
+            return "counts"
+        vertex_hist = self.vertex_hist
+        for label, count in profile.vertex_hist.items():
+            if vertex_hist.get(label, 0) < count:
+                return "histogram"
+        edge_hist = self.edge_hist
+        for label, count in profile.edge_hist.items():
+            if edge_hist.get(label, 0) < count:
+                return "histogram"
+        degrees_by_label = self.degrees_by_label
+        for label, wanted in profile.degrees_by_label.items():
+            have = degrees_by_label.get(label, ())
+            if len(have) < len(wanted):
+                return "degree"
+            for need, got in zip(wanted, have):
+                if got < need:
+                    return "degree"
+        vertex_entries = self.vertex_entries
+        for label, min_degree, pairs in profile.vertex_reqs:
+            satisfied = False
+            for degree, have_pairs in vertex_entries.get(label, ()):
+                if degree < min_degree:
+                    break  # entries are degree-descending
+                if pairs <= have_pairs:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return "neighborhood"
+        return None
+
+    def admits(self, profile: "PatternProfile") -> bool:
+        """True unless an invariant rules the pattern out (and count it)."""
+        reason = self.reject_reason(profile)
+        if reason is None:
+            return True
+        if reason in ("counts", "histogram"):
+            COUNTERS.quick_rejects += 1
+        else:
+            COUNTERS.fingerprint_rejects += 1
+        return False
+
+
+class PatternProfile:
+    """The pattern-side requirements a fingerprint is checked against."""
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "vertex_hist",
+        "edge_hist",
+        "degrees_by_label",
+        "vertex_reqs",
+    )
+
+    def __init__(self, pattern: LabeledGraph) -> None:
+        self.num_vertices = pattern.num_vertices
+        self.num_edges = pattern.num_edges
+        vertex_hist, edge_hist = pattern.label_histogram()
+        self.vertex_hist = vertex_hist
+        self.edge_hist = edge_hist
+        degrees: dict[Label, list[int]] = {}
+        reqs = []
+        for v in pattern.vertices():
+            label = pattern.vertex_label(v)
+            degree = pattern.degree(v)
+            degrees.setdefault(label, []).append(degree)
+            pairs = frozenset(
+                (elabel, pattern.vertex_label(w))
+                for w, elabel in pattern.neighbors(v)
+            )
+            reqs.append((label, degree, pairs))
+        self.degrees_by_label = {
+            label: tuple(sorted(values, reverse=True))
+            for label, values in degrees.items()
+        }
+        # Most-constrained requirements first: fail fast on the hard ones.
+        reqs.sort(key=lambda req: -req[1])
+        self.vertex_reqs = tuple(reqs)
+
+
+# ----------------------------------------------------------------------
+# Caches: one fingerprint per live graph instance, keyed weakly so dead
+# graphs (replaced pieces, temporary candidates) free their entries, and
+# stamped with the graph's version so in-place mutation invalidates.
+# ----------------------------------------------------------------------
+_FINGERPRINTS: "weakref.WeakKeyDictionary[LabeledGraph, GraphFingerprint]"
+_FINGERPRINTS = weakref.WeakKeyDictionary()
+
+
+def get_fingerprint(graph: LabeledGraph) -> GraphFingerprint:
+    """The (cached) fingerprint of ``graph`` at its current version."""
+    fingerprint = _FINGERPRINTS.get(graph)
+    if fingerprint is not None and fingerprint.version == graph.version:
+        COUNTERS.fingerprint_hits += 1
+        return fingerprint
+    fingerprint = GraphFingerprint(graph)
+    _FINGERPRINTS[graph] = fingerprint
+    COUNTERS.fingerprint_builds += 1
+    return fingerprint

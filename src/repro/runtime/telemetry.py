@@ -68,11 +68,18 @@ class UnitRecord:
 
 @dataclass
 class RunTelemetry:
-    """Telemetry of one full runtime run."""
+    """Telemetry of one full runtime run.
+
+    ``perf`` carries the support-counting acceleration digest of the run
+    that produced this telemetry (cache hit/miss/bytes and matcher work
+    counters, see :mod:`repro.perf`); empty when the acceleration layer
+    recorded nothing.
+    """
 
     units: list[UnitRecord] = field(default_factory=list)
     config: dict = field(default_factory=dict)
     total_wall_time: float = 0.0
+    perf: dict = field(default_factory=dict)
 
     def unit(self, index: int) -> UnitRecord:
         for record in self.units:
@@ -119,6 +126,7 @@ class RunTelemetry:
             "version": TELEMETRY_VERSION,
             "config": self.config,
             "total_wall_time": self.total_wall_time,
+            "perf": self.perf,
             "units": [asdict(record) for record in self.units],
         }
 
@@ -142,6 +150,7 @@ class RunTelemetry:
             units=units,
             config=data.get("config", {}),
             total_wall_time=data.get("total_wall_time", 0.0),
+            perf=data.get("perf", {}),
         )
 
     def save(self, path: str | Path) -> None:

@@ -1,0 +1,198 @@
+"""The shared support cache: reuse, invalidation, and lifecycle.
+
+The cache's promise (see :mod:`repro.perf.cache`) is that it may be shared
+across merge levels, across whole re-mines, and across update batches —
+and still never serve a stale verdict.  These tests exercise exactly the
+sharing patterns the miners use, comparing against cache-free runs.
+"""
+
+import gc
+
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.core.incremental import IncrementalPartMiner
+from repro.core.partminer import PartMiner
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import LabeledGraph
+from repro.updates.generator import UpdateGenerator
+
+from .test_properties import connected_graphs, databases
+
+
+def path_graph(labels, elabel=0):
+    graph = LabeledGraph()
+    for label in labels:
+        graph.add_vertex(label)
+    for v in range(1, len(labels)):
+        graph.add_edge(v - 1, v, elabel)
+    return graph
+
+
+def pattern_maps(patterns):
+    return {p.key: (p.support, p.tids) for p in patterns}
+
+
+# ----------------------------------------------------------------------
+# Unit behaviour
+# ----------------------------------------------------------------------
+class TestSupportCacheUnit:
+    def test_version_bump_invalidates(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1, 2])
+        cache.put(("k",), graph, True)
+        assert cache.get(("k",), graph) is True
+        graph.set_vertex_label(0, 9)  # bumps graph.version
+        assert cache.get(("k",), graph) is None
+        assert cache.invalidated == 1
+        cache.put(("k",), graph, False)
+        assert cache.get(("k",), graph) is False
+
+    def test_induced_and_plain_verdicts_are_distinct(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1])
+        cache.put(("k",), graph, True, induced=False)
+        assert cache.get(("k",), graph, induced=True) is None
+        cache.put(("k",), graph, False, induced=True)
+        assert cache.get(("k",), graph, induced=False) is True
+        assert cache.get(("k",), graph, induced=True) is False
+
+    def test_dead_graphs_release_entries(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1, 2])
+        cache.put(("k",), graph, True)
+        assert cache.entries() == 1
+        del graph
+        gc.collect()
+        assert cache.entries() == 0
+
+    def test_stats_digest(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1])
+        cache.put(("k",), graph, True)
+        cache.get(("k",), graph)
+        cache.get(("other",), graph)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+        assert stats["approx_bytes"] > 0
+        assert stats["hit_rate"] == 0.5
+
+    def test_clear(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1])
+        cache.put(("k",), graph, True)
+        cache.clear()
+        assert cache.entries() == 0
+        assert cache.get(("k",), graph) is None
+
+
+# ----------------------------------------------------------------------
+# Cross-run reuse
+# ----------------------------------------------------------------------
+class TestCrossRunReuse:
+    @settings(max_examples=8, deadline=None)
+    @given(databases(max_graphs=6, max_vertices=5))
+    def test_repeated_mine_shares_verdicts(self, db):
+        cache = perf.SupportCache()
+        miner = PartMiner(k=2, unit_support="exact", support_cache=cache)
+        first = miner.mine(db, 2).patterns
+        hits_after_first = cache.hits
+        second = miner.mine(db, 2).patterns
+        assert pattern_maps(first) == pattern_maps(second)
+        # Nothing changed between runs, so the second run's merge levels
+        # found their verdicts memoized whenever the first run tested any.
+        if cache.misses > 0:
+            assert cache.hits > hits_after_first
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        databases(max_graphs=7, max_vertices=5),
+        st.integers(0, 2 ** 31),
+        st.integers(1, 2),
+    )
+    def test_incremental_reuse_stays_correct_after_updates(
+        self, db, seed, batches
+    ):
+        """The long-lived cache never corrupts an incremental session.
+
+        The accelerated session shares one cache across the initial mine
+        and every re-merge; the baseline session runs with the layer
+        disabled.  After every batch — whose in-place mutations bump graph
+        versions and whose re-partitions replace piece instances — the
+        pattern sets must match exactly.
+        """
+        accel = IncrementalPartMiner(k=2, max_size=4)
+        accel.initial_mine(db, 2)
+        with perf.disabled():
+            baseline = IncrementalPartMiner(k=2, max_size=4)
+            baseline.initial_mine(db, 2)
+        assert pattern_maps(accel.current_patterns) == pattern_maps(
+            baseline.current_patterns
+        )
+        generator = UpdateGenerator(
+            num_vertex_labels=4, num_edge_labels=2, seed=seed
+        )
+        for _ in range(batches):
+            updates = generator.generate(
+                accel.database, accel.ufreq, fraction_graphs=0.5,
+                ops_per_graph=2,
+            )
+            got = accel.apply_updates(updates)
+            with perf.disabled():
+                want = baseline.apply_updates(updates)
+            assert pattern_maps(got.patterns) == pattern_maps(want.patterns)
+
+    def test_explicit_cache_is_used_and_survives(self):
+        db = GraphDatabase.from_graphs(
+            [path_graph([0, 1, 2, 1]) for _ in range(4)]
+            + [path_graph([0, 2, 2]) for _ in range(3)]
+        )
+        cache = perf.SupportCache()
+        miner = IncrementalPartMiner(k=2, support_cache=cache)
+        result = miner.initial_mine(db, 2)
+        assert miner.support_cache is cache
+        assert result.support_cache is cache
+        assert cache.stores > 0
+
+    def test_mine_telemetry_carries_perf_digest(self):
+        db = GraphDatabase.from_graphs(
+            [path_graph([0, 1, 2]) for _ in range(4)]
+        )
+        result = PartMiner(k=2, parallel_units=True).mine(db, 2)
+        assert result.telemetry is not None
+        digest = result.telemetry.perf
+        assert "support_cache" in digest
+        assert "counters" in digest
+        assert digest["support_cache"]["stores"] >= 0
+        roundtrip = type(result.telemetry).from_dict(
+            result.telemetry.to_dict()
+        )
+        assert roundtrip.perf == digest
+
+
+# ----------------------------------------------------------------------
+# Cache + matcher agreement under mutation
+# ----------------------------------------------------------------------
+class TestMutationSafety:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        connected_graphs(max_vertices=6),
+        connected_graphs(max_vertices=4),
+        st.integers(0, 3),
+    )
+    def test_cached_verdict_tracks_mutations(self, target, pattern, label):
+        from repro.graph.canonical import canonical_code
+        from repro.graph.isomorphism import subgraph_exists_reference
+
+        cache = perf.SupportCache()
+        key = canonical_code(pattern)
+        cache.put(key, target, subgraph_exists_reference(pattern, target))
+        target.set_vertex_label(0, 90 + label)
+        verdict = cache.get(key, target)
+        if verdict is not None:  # fresh entries only
+            assert verdict == subgraph_exists_reference(pattern, target)
+        else:
+            assert cache.invalidated == 1
