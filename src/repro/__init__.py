@@ -48,7 +48,14 @@ from .mining import (
     validate,
 )
 from . import perf
+from . import serve
 from .mining.adi import ADIMiner
+from .serve import (
+    FragmentIndex,
+    PatternCatalog,
+    PatternService,
+    QueryEngine,
+)
 from .perf import SupportCache
 from .query import MatchResult, Occurrence, coverage, match, match_patterns
 from .runtime import (
@@ -132,5 +139,10 @@ __all__ = [
     "min_dfs_code",
     "perf",
     "run_unit_mining",
+    "serve",
     "subgraph_exists",
+    "FragmentIndex",
+    "PatternCatalog",
+    "PatternService",
+    "QueryEngine",
 ]

@@ -8,6 +8,8 @@ Commands
 ``update``    — apply a random update batch to a database file
 ``show``      — export a database or mined patterns as Graphviz DOT
 ``match``     — locate a stored pattern set inside a database
+``query``     — relocate patterns via the serving index (or linear scan)
+``serve``     — publish patterns to a catalog and serve them over HTTP
 ``stats``     — print database statistics
 
 Every command reads/writes the plain-text ``t/v/e`` graph format
@@ -233,6 +235,127 @@ def cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Relocate stored patterns over a database, indexed or linear.
+
+    ``--via-index`` routes every pattern through the serving layer's
+    :class:`~repro.serve.QueryEngine` (fragment index + support cache);
+    the default is the linear :func:`repro.query.match_patterns` scan.
+    Both paths produce identical supports and TID lists.
+    """
+    database = graph_io.read_database(args.database)
+    patterns, _ = read_patterns(args.patterns)
+    start = time.perf_counter()
+    if args.via_index:
+        from .serve import (
+            CatalogSnapshot,
+            FragmentIndex,
+            QueryEngine,
+            catalog_order,
+        )
+
+        index = FragmentIndex.build(
+            (p.graph for p in catalog_order(patterns)), database
+        )
+        snapshot = CatalogSnapshot(1, patterns, index, {})
+        engine = QueryEngine(snapshot, database)
+        relocated = engine.relocate(
+            patterns, induced=args.induced, min_support=args.min_support
+        )
+        work = engine.stats_dict()
+        workline = (
+            f"index: {work['searches']} searches over "
+            f"{work['universe']} pairs ({work['pruned']} pruned)"
+        )
+    else:
+        from .query import match_patterns
+
+        relocated = match_patterns(
+            patterns,
+            database,
+            induced=args.induced,
+            min_support=args.min_support,
+            use_accel=not args.no_query_accel,
+        )
+        workline = f"linear scan over {len(patterns) * len(database)} pairs"
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(relocated)}/{len(patterns)} patterns occur in "
+        f"{args.database} ({elapsed:.2f}s; {workline})"
+    )
+    for pattern in sorted(
+        relocated, key=lambda p: (-p.support, -p.size)
+    )[: args.top]:
+        from .graph.canonical import min_dfs_code
+
+        print(
+            f"  support={pattern.support:4d} size={pattern.size} "
+            f"{min_dfs_code(pattern.graph)}"
+        )
+    if args.output:
+        save_patterns(
+            relocated, args.output,
+            meta={"database": args.database, "relocated_from": args.patterns},
+        )
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Publish (optionally) and serve a pattern catalog over HTTP."""
+    from .serve import PatternCatalog, PatternService
+
+    database = graph_io.read_database(args.database)
+    catalog = PatternCatalog(args.catalog)
+    if args.patterns:
+        patterns, meta = read_patterns(args.patterns)
+        snapshot = catalog.publish(patterns, meta=meta, database=database)
+        print(
+            f"published snapshot v{snapshot.version} "
+            f"({len(snapshot)} patterns) to {args.catalog}"
+        )
+    if catalog.current_version() is None:
+        print(
+            f"catalog {args.catalog} is empty; publish with --patterns",
+            file=sys.stderr,
+        )
+        return 1
+    service = PatternService(
+        catalog,
+        database,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        reload_interval=args.reload_interval,
+    )
+    service.start()
+    print(
+        f"serving catalog v{service.engine.snapshot.version} "
+        f"({len(service.engine.snapshot.entries)} patterns, "
+        f"{len(database)} graphs) on {service.base_url}"
+    )
+    # Process managers (and CI) stop daemons with SIGTERM; give it the
+    # same graceful-shutdown path as Ctrl-C.
+    import signal
+
+    signal.signal(signal.SIGTERM, signal.default_int_handler)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        service.close()
+        if args.telemetry:
+            from .runtime.telemetry import RunTelemetry
+
+            telemetry = RunTelemetry(config={"command": "serve"})
+            service.attach_telemetry(telemetry)
+            telemetry.save(args.telemetry)
+            print(f"serving telemetry saved to {args.telemetry}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print database statistics."""
     database = graph_io.read_database(args.database)
@@ -353,6 +476,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--output", help="save relocated patterns here")
     p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser(
+        "query",
+        help="relocate stored patterns via the serving index",
+    )
+    p.add_argument("patterns", help="pattern file (from `mine --output`)")
+    p.add_argument("database", help=".tve database to query")
+    p.add_argument("--via-index", action="store_true",
+                   help="answer through the serving layer's fragment "
+                        "index + query engine instead of a linear scan")
+    p.add_argument("--no-query-accel", action="store_true",
+                   help="linear path only: also skip the edge-triple/"
+                        "fingerprint candidate filters")
+    p.add_argument("--induced", action="store_true",
+                   help="use induced-subgraph semantics")
+    p.add_argument("--min-support", type=_support, default=None)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--output", help="save relocated patterns here")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve", help="serve a pattern catalog over HTTP"
+    )
+    p.add_argument("catalog", help="catalog directory (created on publish)")
+    p.add_argument("database", help=".tve database to answer queries over")
+    p.add_argument("--patterns", default=None,
+                   help="publish this pattern file into the catalog "
+                        "before serving")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--workers", type=int, default=4,
+                   help="bounded query worker pool size")
+    p.add_argument("--reload-interval", type=float, default=None,
+                   help="poll the catalog manifest every N seconds and "
+                        "hot-reload new snapshots")
+    p.add_argument("--telemetry", default=None,
+                   help="write a serving telemetry JSON on shutdown")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stats", help="database statistics")
     p.add_argument("database")

@@ -8,9 +8,18 @@ round-trips the full incremental state.
 
 Format (one JSON object per line)::
 
-    {"kind": "header", "version": 1, "patterns": N, ...meta}
+    {"kind": "header", "version": 1, "schema_version": 2, "patterns": N,
+     ...meta}
     {"kind": "pattern", "vertices": [...], "edges": [[u, v, l], ...],
-     "tids": [...]}
+     "tids": [...], "support": S}
+
+``version`` is the container format (JSON lines, header first);
+``schema_version`` describes the pattern records.  Schema 1 (the
+original) had no ``support`` field and no ``schema_version`` header
+entry; schema-1 files are upgraded transparently on load.  Files written
+by a *newer* schema are rejected with a clear error instead of failing
+deep inside record parsing, and records missing required fields raise
+:class:`ValueError` naming the field (not an opaque ``KeyError``).
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ from ..graph.labeled_graph import LabeledGraph
 from .base import Pattern, PatternSet
 
 FORMAT_VERSION = 1
+SCHEMA_VERSION = 2
+
+_REQUIRED_FIELDS = ("vertices", "edges", "tids")
 
 
 def _pattern_record(pattern: Pattern) -> dict:
@@ -31,15 +43,36 @@ def _pattern_record(pattern: Pattern) -> dict:
         "vertices": pattern.graph.vertex_labels(),
         "edges": [[u, v, label] for u, v, label in pattern.graph.edges()],
         "tids": sorted(pattern.tids),
+        "support": pattern.support,
     }
 
 
+def _upgrade_record(record: dict, schema: int) -> dict:
+    """Bring a schema-``schema`` pattern record up to the current schema."""
+    if schema < 2 and "support" not in record and "tids" in record:
+        record = dict(record)
+        record["support"] = len(set(record["tids"]))
+    return record
+
+
 def _pattern_from_record(record: dict) -> Pattern:
+    for field in _REQUIRED_FIELDS:
+        if field not in record:
+            raise ValueError(
+                f"pattern record missing required field {field!r}"
+            )
     graph = LabeledGraph.from_vertices_and_edges(
         record["vertices"],
         [(u, v, label) for u, v, label in record["edges"]],
     )
-    return Pattern.from_graph(graph, record["tids"])
+    pattern = Pattern.from_graph(graph, record["tids"])
+    support = record.get("support")
+    if support is not None and support != pattern.support:
+        raise ValueError(
+            f"corrupt pattern record: support field says {support}, "
+            f"TID list holds {pattern.support}"
+        )
+    return pattern
 
 
 def dump_patterns(
@@ -49,6 +82,7 @@ def dump_patterns(
     header = {
         "kind": "header",
         "version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "patterns": len(patterns),
     }
     if meta:
@@ -75,6 +109,15 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
         raise ValueError(
             f"unsupported pattern file version {header.get('version')!r}"
         )
+    schema = header.get("schema_version", 1)
+    if not isinstance(schema, int) or schema < 1:
+        raise ValueError(f"invalid schema_version {schema!r}")
+    if schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"pattern file uses schema_version {schema}, this library "
+            f"supports up to {SCHEMA_VERSION} — upgrade the library or "
+            f"re-export the patterns"
+        )
     patterns = PatternSet()
     for line in iterator:
         line = line.strip()
@@ -83,6 +126,8 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
         record = json.loads(line)
         if record.get("kind") != "pattern":
             raise ValueError(f"unexpected record kind {record.get('kind')!r}")
+        if schema < SCHEMA_VERSION:
+            record = _upgrade_record(record, schema)
         patterns.add(_pattern_from_record(record))
     expected = header.get("patterns")
     if expected is not None and expected != len(patterns):
@@ -93,7 +138,7 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
     return patterns, {
         k: v
         for k, v in header.items()
-        if k not in ("kind", "version", "patterns")
+        if k not in ("kind", "version", "schema_version", "patterns")
     }
 
 

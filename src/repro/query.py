@@ -13,16 +13,27 @@ answers it:
 * :func:`coverage` — how much of a database a pattern set explains.
 
 Both monomorphism (mining) and induced (AGM) semantics are supported.
+
+:func:`match_patterns` and :func:`coverage` consult the acceleration
+layer (:mod:`repro.perf`) before entering any embedding search: an
+edge-triple index over the database plus per-graph invariant
+fingerprints reject most non-supporting graphs outright.  The filters
+are sound for both semantics (an induced embedding is in particular a
+monomorphism), so results are identical either way; ``use_accel=False``
+— or the global ``REPRO_NO_ACCEL`` switch — forces the original full
+scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from . import perf
 from .graph.database import GraphDatabase
 from .graph.isomorphism import find_embeddings
 from .graph.labeled_graph import LabeledGraph
 from .mining.base import Pattern, PatternSet
+from .mining.edges import EdgeTriple, normalize_triple
 
 
 @dataclass(frozen=True)
@@ -62,6 +73,54 @@ class MatchResult:
         return counts
 
 
+def _triple_index(
+    database: GraphDatabase,
+) -> dict[EdgeTriple, set[int]]:
+    """Edge triple -> gids of the graphs containing such an edge."""
+    index: dict[EdgeTriple, set[int]] = {}
+    for gid, graph in database:
+        for u, v, elabel in graph.edges():
+            triple = normalize_triple(
+                graph.vertex_label(u), elabel, graph.vertex_label(v)
+            )
+            index.setdefault(triple, set()).add(gid)
+    return index
+
+
+def _candidate_gids(
+    pattern: LabeledGraph,
+    database: GraphDatabase,
+    triple_index: dict[EdgeTriple, set[int]],
+) -> set[int]:
+    """Gids that pass every cheap containment filter for ``pattern``.
+
+    Intersects the edge-triple posting lists, then drops candidates whose
+    invariant fingerprint (:mod:`repro.perf.fingerprint`) rules the
+    pattern out.  Both filters are necessary conditions for containment
+    under either semantics, so the survivors are a sound candidate set.
+    An edge-free pattern cannot be filtered: every gid comes back.
+    """
+    candidates: set[int] | None = None
+    for u, v, elabel in pattern.edges():
+        triple = normalize_triple(
+            pattern.vertex_label(u), elabel, pattern.vertex_label(v)
+        )
+        gids = triple_index.get(triple)
+        if not gids:
+            return set()
+        candidates = set(gids) if candidates is None else candidates & gids
+        if not candidates:
+            return set()
+    if candidates is None:
+        return {gid for gid, _ in database}
+    profile = perf.get_match_plan(pattern).profile
+    return {
+        gid
+        for gid in candidates
+        if perf.get_fingerprint(database[gid]).admits(profile)
+    }
+
+
 def match(
     pattern: LabeledGraph,
     database: GraphDatabase,
@@ -92,6 +151,7 @@ def match_patterns(
     database: GraphDatabase,
     induced: bool = False,
     min_support: float | int | None = None,
+    use_accel: bool = True,
 ) -> PatternSet:
     """Re-locate a pattern set over ``database``.
 
@@ -99,16 +159,29 @@ def match_patterns(
     measured against ``database`` (the input set's supports refer to
     whatever database it was mined from).  Patterns falling below
     ``min_support`` (when given) are dropped.
+
+    By default each pattern is searched only in the graphs surviving the
+    acceleration layer's candidate filters (edge-triple index +
+    fingerprints); ``use_accel=False`` — or disabling the layer globally
+    via ``REPRO_NO_ACCEL`` — scans every graph for every pattern, as the
+    original implementation did.  Results are identical either way.
     """
     threshold = (
         database.absolute_support(min_support)
         if min_support is not None
         else 0
     )
+    accel = use_accel and perf.enabled()
+    triple_index = _triple_index(database) if accel else None
     relocated = PatternSet()
     for pattern in patterns:
+        if triple_index is not None:
+            gids = _candidate_gids(pattern.graph, database, triple_index)
+            items = ((gid, database[gid]) for gid in sorted(gids))
+        else:
+            items = iter(database)
         supporting = set()
-        for gid, graph in database:
+        for gid, graph in items:
             for _ in find_embeddings(
                 pattern.graph, graph, limit=1, induced=induced
             ):
@@ -126,14 +199,23 @@ def match_patterns(
 
 
 def coverage(
-    patterns: PatternSet, database: GraphDatabase, induced: bool = False
+    patterns: PatternSet,
+    database: GraphDatabase,
+    induced: bool = False,
+    use_accel: bool = True,
 ) -> tuple[float, set[int]]:
     """Fraction (and set) of graphs containing at least one pattern."""
+    accel = use_accel and perf.enabled()
     covered: set[int] = set()
     for gid, graph in database:
+        fingerprint = perf.get_fingerprint(graph) if accel else None
         for pattern in patterns:
             if gid in covered:
                 break
+            if fingerprint is not None and not fingerprint.admits(
+                perf.get_match_plan(pattern.graph).profile
+            ):
+                continue
             for _ in find_embeddings(
                 pattern.graph, graph, limit=1, induced=induced
             ):

@@ -74,12 +74,19 @@ class RunTelemetry:
     that produced this telemetry (cache hit/miss/bytes and matcher work
     counters, see :mod:`repro.perf`); empty when the acceleration layer
     recorded nothing.
+
+    ``serving`` carries the pattern-serving digest when the run fed a
+    query service (request/batching/reload counters and the query
+    engine's work totals, see
+    :meth:`repro.serve.PatternService.attach_telemetry`); empty when no
+    service was involved.
     """
 
     units: list[UnitRecord] = field(default_factory=list)
     config: dict = field(default_factory=dict)
     total_wall_time: float = 0.0
     perf: dict = field(default_factory=dict)
+    serving: dict = field(default_factory=dict)
 
     def unit(self, index: int) -> UnitRecord:
         for record in self.units:
@@ -127,6 +134,7 @@ class RunTelemetry:
             "config": self.config,
             "total_wall_time": self.total_wall_time,
             "perf": self.perf,
+            "serving": self.serving,
             "units": [asdict(record) for record in self.units],
         }
 
@@ -151,6 +159,7 @@ class RunTelemetry:
             config=data.get("config", {}),
             total_wall_time=data.get("total_wall_time", 0.0),
             perf=data.get("perf", {}),
+            serving=data.get("serving", {}),
         )
 
     def save(self, path: str | Path) -> None:

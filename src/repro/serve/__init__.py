@@ -1,0 +1,60 @@
+"""Pattern-serving subsystem: catalog, fragment index, engine, service.
+
+Mining produces patterns; this package *serves* them.  Four layers, each
+usable on its own:
+
+* :mod:`repro.serve.catalog` — :class:`PatternCatalog`, a directory of
+  versioned, atomically-published pattern snapshots (JSONL store +
+  prebuilt index + manifest);
+* :mod:`repro.serve.index` — :class:`FragmentIndex`, an inverted
+  edge-triple / label-path index over patterns and database graphs that
+  prunes candidates before any isomorphism search;
+* :mod:`repro.serve.engine` — :class:`QueryEngine`, indexed + cached
+  ``match`` / ``contains`` / ``top_k`` / ``coverage`` answers, identical
+  to the unindexed :mod:`repro.query` results;
+* :mod:`repro.serve.service` — :class:`PatternService`, a threaded JSON
+  HTTP API with request batching, a bounded worker pool, hot-reload and
+  graceful shutdown.
+
+End-to-end story (mine -> publish -> serve -> update -> hot-reload):
+``examples/serve_and_query.py``; design notes: DESIGN.md §9.
+"""
+
+from .catalog import (
+    CatalogSnapshot,
+    PatternCatalog,
+    PatternEntry,
+    catalog_order,
+)
+from .engine import (
+    ContainsAnswer,
+    EngineTotals,
+    MatchAnswer,
+    QueryEngine,
+    QueryStats,
+)
+from .index import FragmentIndex, graph_fragments
+from .service import (
+    PatternService,
+    ServiceError,
+    decode_graph,
+    encode_graph,
+)
+
+__all__ = [
+    "CatalogSnapshot",
+    "ContainsAnswer",
+    "EngineTotals",
+    "FragmentIndex",
+    "MatchAnswer",
+    "PatternCatalog",
+    "PatternEntry",
+    "PatternService",
+    "QueryEngine",
+    "QueryStats",
+    "ServiceError",
+    "catalog_order",
+    "decode_graph",
+    "encode_graph",
+    "graph_fragments",
+]

@@ -1,0 +1,443 @@
+"""The query engine: indexed, cached, semantics-preserving answers.
+
+A :class:`QueryEngine` binds one immutable
+:class:`~repro.serve.catalog.CatalogSnapshot` to one
+:class:`~repro.graph.database.GraphDatabase` and answers the serving
+layer's four query shapes:
+
+* :meth:`match` — which database graphs contain a given pattern;
+* :meth:`contains` — which catalog patterns occur in a given graph;
+* :meth:`top_k` — the leading patterns by support/size (pure metadata);
+* :meth:`coverage` — how much of the database the catalog explains.
+
+Every answer is **identical to the unindexed** :mod:`repro.query` path —
+the fragment index only removes (pattern, graph) pairs whose fragments
+already prove non-containment, and every surviving candidate is verified
+by a real subgraph-isomorphism search.  The differential test-suite pins
+this for both monomorphism and induced semantics.
+
+Three layers of work avoidance, outermost first:
+
+1. an LRU result cache keyed on canonical codes (plus a database state
+   token built from the graphs' version counters, so in-place updates
+   invalidate stale results);
+2. the snapshot's :class:`~repro.serve.index.FragmentIndex` (graphs that
+   drifted since the index was built are treated as always-candidates —
+   see ``stale_gids``);
+3. a :class:`repro.perf.SupportCache` memoizing per-graph containment
+   verdicts under the pattern's canonical key (shared with mining when
+   the caller passes the miner's cache in).
+
+``use_accel=False`` (or the global ``REPRO_NO_ACCEL`` switch) bypasses
+layers 2–3 and scans linearly — the escape hatch and the differential
+baseline.  The engine is thread-safe: snapshots are immutable, and the
+mutable caches/stats sit behind a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .. import perf
+from ..graph.canonical import canonical_code
+from ..graph.database import GraphDatabase
+from ..graph.isomorphism import subgraph_exists
+from ..graph.labeled_graph import LabeledGraph
+from ..mining.base import Pattern, PatternSet
+from .catalog import CatalogSnapshot, PatternEntry
+from .index import graph_fragments
+
+
+@dataclass
+class QueryStats:
+    """Work and latency of one query."""
+
+    kind: str
+    universe: int = 0  # pairs/entities before any filtering
+    candidates: int = 0  # survivors of the fragment index
+    searches: int = 0  # isomorphism searches actually run
+    support_cache_hits: int = 0
+    lru_hit: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def pruned(self) -> int:
+        return self.universe - self.candidates
+
+
+@dataclass(frozen=True)
+class MatchAnswer:
+    """Answer to ``match``: the supporting gids of one pattern."""
+
+    gids: frozenset[int]
+    stats: QueryStats
+
+    @property
+    def support(self) -> int:
+        return len(self.gids)
+
+
+@dataclass(frozen=True)
+class ContainsAnswer:
+    """Answer to ``contains``: the catalog patterns found in one graph."""
+
+    pids: tuple[int, ...]
+    stats: QueryStats
+
+
+@dataclass
+class EngineTotals:
+    """Aggregate counters across the engine's lifetime."""
+
+    queries: int = 0
+    lru_hits: int = 0
+    searches: int = 0
+    candidates: int = 0
+    universe: int = 0
+    support_cache_hits: int = 0
+    elapsed: float = 0.0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, stats: QueryStats) -> None:
+        self.queries += 1
+        self.lru_hits += 1 if stats.lru_hit else 0
+        self.searches += stats.searches
+        self.candidates += stats.candidates
+        self.universe += stats.universe
+        self.support_cache_hits += stats.support_cache_hits
+        self.elapsed += stats.elapsed
+        self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "lru_hits": self.lru_hits,
+            "searches": self.searches,
+            "candidates": self.candidates,
+            "universe": self.universe,
+            "pruned": self.universe - self.candidates,
+            "support_cache_hits": self.support_cache_hits,
+            "elapsed": round(self.elapsed, 6),
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class QueryEngine:
+    """Indexed queries over one catalog snapshot and one database."""
+
+    def __init__(
+        self,
+        snapshot: CatalogSnapshot,
+        database: GraphDatabase,
+        support_cache: "perf.SupportCache | None" = None,
+        lru_size: int = 1024,
+        use_accel: bool | None = None,
+    ) -> None:
+        """``use_accel=None`` follows the global :func:`repro.perf.enabled`
+        switch (so ``REPRO_NO_ACCEL`` turns the engine linear too);
+        ``True``/``False`` force the choice for this engine."""
+        self.snapshot = snapshot
+        self.database = database
+        self.support_cache = (
+            support_cache if support_cache is not None else perf.SupportCache()
+        )
+        self.use_accel = use_accel
+        self.totals = EngineTotals()
+        self._lru: OrderedDict = OrderedDict()
+        self._lru_size = lru_size
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _accel_on(self) -> bool:
+        if self.use_accel is None:
+            return perf.enabled()
+        return self.use_accel
+
+    def _db_token(self) -> tuple:
+        """A value that changes whenever any database graph changes.
+
+        Built from the gid -> version map; in-place mutations bump a
+        graph's version, replacements produce a fresh counter, so LRU
+        entries computed against older database states never match.
+        """
+        return tuple(
+            (gid, graph.version) for gid, graph in self.database
+        )
+
+    def _lru_get(self, key: tuple):
+        with self._lock:
+            value = self._lru.get(key)
+            if value is not None:
+                self._lru.move_to_end(key)
+            return value
+
+    def _lru_put(self, key: tuple, value) -> None:
+        with self._lock:
+            self._lru[key] = value
+            self._lru.move_to_end(key)
+            while len(self._lru) > self._lru_size:
+                self._lru.popitem(last=False)
+
+    def _cached_verdict(
+        self,
+        key: tuple | None,
+        graph: LabeledGraph,
+        pattern: LabeledGraph,
+        induced: bool,
+        stats: QueryStats,
+        use_cache: bool,
+    ) -> bool:
+        """Support-cache-memoized existence check for one pair."""
+        if use_cache and key is not None:
+            with self._lock:
+                verdict = self.support_cache.get(key, graph, induced=induced)
+            if verdict is not None:
+                stats.support_cache_hits += 1
+                return verdict
+        stats.searches += 1
+        verdict = subgraph_exists(pattern, graph, induced=induced)
+        if use_cache and key is not None:
+            with self._lock:
+                self.support_cache.put(
+                    key, graph, verdict, induced=induced
+                )
+        return verdict
+
+    @staticmethod
+    def _safe_key(graph: LabeledGraph) -> tuple | None:
+        """Canonical key, or ``None`` for empty/disconnected graphs."""
+        try:
+            return canonical_code(graph)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # match: pattern -> supporting database graphs
+    # ------------------------------------------------------------------
+    def match(
+        self, pattern: LabeledGraph, induced: bool = False
+    ) -> MatchAnswer:
+        """The database gids containing ``pattern``.
+
+        Identical to the supporting-gid set of :func:`repro.query.match`
+        (existence only; occurrences are not enumerated).
+        """
+        start = time.perf_counter()
+        stats = QueryStats(kind="match", universe=len(self.database))
+        accel = self._accel_on()
+        key = self._safe_key(pattern)
+        lru_key = None
+        if key is not None:
+            lru_key = ("match", key, induced, self._db_token())
+            cached = self._lru_get(lru_key)
+            if cached is not None:
+                stats.lru_hit = True
+                stats.elapsed = time.perf_counter() - start
+                with self._lock:
+                    self.totals.record(stats)
+                return MatchAnswer(gids=cached, stats=stats)
+
+        live_gids = set(self.database.gids())
+        if accel:
+            index = self.snapshot.index
+            from_index = index.candidate_graphs(graph_fragments(pattern))
+            if from_index is None:
+                candidates = live_gids
+            else:
+                # Drifted graphs have unreliable posting lists: always
+                # re-candidates.  Deleted gids drop out via the live set.
+                candidates = (from_index & live_gids) | index.stale_gids(
+                    self.database
+                )
+        else:
+            candidates = live_gids
+        stats.candidates = len(candidates)
+
+        supporting = set()
+        for gid in sorted(candidates):
+            graph = self.database[gid]
+            if self._cached_verdict(
+                key, graph, pattern, induced, stats, use_cache=accel
+            ):
+                supporting.add(gid)
+        answer = frozenset(supporting)
+        if lru_key is not None:
+            self._lru_put(lru_key, answer)
+        stats.elapsed = time.perf_counter() - start
+        with self._lock:
+            self.totals.record(stats)
+        return MatchAnswer(gids=answer, stats=stats)
+
+    def relocate(
+        self,
+        patterns: PatternSet | None = None,
+        induced: bool = False,
+        min_support: float | int | None = None,
+    ) -> PatternSet:
+        """Re-measure a pattern set against this engine's database.
+
+        With ``patterns=None`` the catalog's own patterns are relocated.
+        Result-identical to :func:`repro.query.match_patterns` — supports
+        and TID lists are measured against the live database, patterns
+        below ``min_support`` (when given) are dropped.
+        """
+        source = (
+            patterns
+            if patterns is not None
+            else PatternSet(
+                Pattern(
+                    graph=e.graph, key=e.key, support=e.support, tids=e.tids
+                )
+                for e in self.snapshot.entries
+            )
+        )
+        threshold = (
+            self.database.absolute_support(min_support)
+            if min_support is not None
+            else 0
+        )
+        relocated = PatternSet()
+        for pattern in source:
+            answer = self.match(pattern.graph, induced=induced)
+            if answer.support >= threshold:
+                relocated.add(
+                    Pattern(
+                        graph=pattern.graph,
+                        key=pattern.key,
+                        support=answer.support,
+                        tids=answer.gids,
+                    )
+                )
+        return relocated
+
+    # ------------------------------------------------------------------
+    # contains: graph -> catalog patterns present in it
+    # ------------------------------------------------------------------
+    def contains(
+        self, graph: LabeledGraph, induced: bool = False
+    ) -> ContainsAnswer:
+        """The catalog pids whose pattern embeds in ``graph``."""
+        start = time.perf_counter()
+        stats = QueryStats(
+            kind="contains", universe=len(self.snapshot.entries)
+        )
+        key = self._safe_key(graph)
+        lru_key = None
+        if key is not None:
+            lru_key = ("contains", key, induced, self.snapshot.version)
+            cached = self._lru_get(lru_key)
+            if cached is not None:
+                stats.lru_hit = True
+                stats.elapsed = time.perf_counter() - start
+                with self._lock:
+                    self.totals.record(stats)
+                return ContainsAnswer(pids=cached, stats=stats)
+
+        pids = self._graph_hits(graph, induced, stats, first_only=False)
+        answer = tuple(pids)
+        if lru_key is not None:
+            self._lru_put(lru_key, answer)
+        stats.elapsed = time.perf_counter() - start
+        with self._lock:
+            self.totals.record(stats)
+        return ContainsAnswer(pids=answer, stats=stats)
+
+    def _graph_hits(
+        self,
+        graph: LabeledGraph,
+        induced: bool,
+        stats: QueryStats,
+        first_only: bool,
+    ) -> list[int]:
+        """Pids embedding in ``graph``; at most one when ``first_only``."""
+        accel = self._accel_on()
+        entries = self.snapshot.entries
+        if accel:
+            candidates = self.snapshot.index.candidate_patterns(
+                graph_fragments(graph)
+            )
+        else:
+            candidates = list(range(len(entries)))
+        stats.candidates += len(candidates)
+        hits = []
+        for pid in candidates:
+            entry = entries[pid]
+            if self._cached_verdict(
+                entry.key, graph, entry.graph, induced, stats,
+                use_cache=accel,
+            ):
+                hits.append(pid)
+                if first_only:
+                    break
+        return hits
+
+    # ------------------------------------------------------------------
+    # Metadata queries
+    # ------------------------------------------------------------------
+    def top_k(self, k: int, by: str = "support") -> list[PatternEntry]:
+        """The ``k`` leading catalog entries by ``support`` or ``size``.
+
+        Pure metadata — no search.  Ties break on catalog pid, which is
+        itself deterministic (size, support desc, canonical key).
+        """
+        if by not in ("support", "size"):
+            raise ValueError(f"top_k by must be 'support' or 'size': {by!r}")
+        entries = sorted(
+            self.snapshot.entries,
+            key=lambda e: (-(e.support if by == "support" else e.size), e.pid),
+        )
+        return entries[: max(0, k)]
+
+    def coverage(self, induced: bool = False) -> tuple[float, set[int]]:
+        """Fraction (and set) of graphs containing >= 1 catalog pattern.
+
+        Identical to :func:`repro.query.coverage` over the catalog's
+        pattern set.
+        """
+        start = time.perf_counter()
+        stats = QueryStats(kind="coverage", universe=len(self.database))
+        lru_key = (
+            "coverage", induced, self.snapshot.version, self._db_token(),
+        )
+        cached = self._lru_get(lru_key)
+        if cached is None:
+            covered = set()
+            for gid, graph in self.database:
+                if self._graph_hits(graph, induced, stats, first_only=True):
+                    covered.add(gid)
+            cached = frozenset(covered)
+            self._lru_put(lru_key, cached)
+        else:
+            stats.lru_hit = True
+        stats.elapsed = time.perf_counter() - start
+        with self._lock:
+            self.totals.record(stats)
+        covered = set(cached)
+        if not len(self.database):
+            return 0.0, covered
+        return len(covered) / len(self.database), covered
+
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """JSON-ready digest for /stats, telemetry and benchmarks."""
+        with self._lock:
+            digest = self.totals.to_dict()
+            digest["lru_entries"] = len(self._lru)
+            digest["support_cache"] = self.support_cache.stats()
+            digest["snapshot_version"] = self.snapshot.version
+            digest["patterns"] = len(self.snapshot.entries)
+            digest["graphs"] = len(self.database)
+            digest["accel"] = self._accel_on()
+        return digest
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(snapshot=v{self.snapshot.version}, "
+            f"patterns={len(self.snapshot.entries)}, "
+            f"graphs={len(self.database)})"
+        )

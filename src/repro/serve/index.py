@@ -1,0 +1,341 @@
+"""Inverted fragment index over patterns and database graphs.
+
+The serving layer answers two shapes of question — "which graphs contain
+this pattern?" (``match``) and "which patterns occur in this graph?"
+(``contains``) — and both reduce to many subgraph-isomorphism tests.  The
+classic way to avoid most of them is *feature-based candidate filtering*
+(cf. gIndex / FG-index): decompose every graph into small **fragments**
+whose presence is *necessary* for containment, index fragment -> posting
+list, and run the expensive test only on candidates that pass the filter.
+
+Fragments used here, both containment-monotone under monomorphism (and
+therefore under induced embedding, which is in particular a monomorphism):
+
+* **edge triples** — the normalized ``(l_u, l_edge, l_v)`` of every edge
+  (exactly :func:`repro.core.join.pattern_edge_triples`'s vocabulary);
+* **label paths** — length-2 paths through a center vertex, normalized as
+  ``(l_a, e_a, l_center, e_b, l_b)`` with the lexicographically smaller
+  side first.  An injective embedding maps two distinct edges at a pattern
+  vertex onto two distinct edges at its image, so every pattern path must
+  appear in the target.
+
+If pattern ``P`` embeds in graph ``G`` then ``fragments(P) <=
+fragments(G)``; the converse is false, so candidates are always verified
+by a real search downstream.  The index is a pure pruning device: the
+differential tests pin every served answer against the unindexed
+:mod:`repro.query` results.
+
+Graph-side posting lists are stamped with each graph's ``version``
+counter.  A database mutated after the index was built (incremental
+update batches) stays sound: :meth:`FragmentIndex.stale_gids` reports the
+drifted graphs and the query engine treats them as always-candidates.
+
+The index serializes to JSON alongside the catalog snapshot
+(:meth:`save` / :meth:`load`); fragments are interned into an id table so
+posting lists stay compact.
+"""
+
+from __future__ import annotations
+
+import json
+import weakref
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from ..mining.edges import normalize_triple
+
+INDEX_FORMAT_VERSION = 1
+
+#: A fragment: ("e", lu, le, lv) or ("p", la, ea, lm, eb, lb).
+Fragment = tuple
+
+# Per-graph fragment sets are recomputed for every contains() query and
+# at every index build; the weak version-stamped cache (the same idiom as
+# join._TRIPLES_CACHE) makes each graph pay once per mutation.
+_FRAGMENTS_CACHE: "weakref.WeakKeyDictionary[LabeledGraph, tuple]"
+_FRAGMENTS_CACHE = weakref.WeakKeyDictionary()
+
+
+def graph_fragments(graph: LabeledGraph) -> frozenset[Fragment]:
+    """All edge-triple and label-path fragments of ``graph`` (memoized)."""
+    entry = _FRAGMENTS_CACHE.get(graph)
+    if entry is not None and entry[0] == graph.version:
+        return entry[1]
+    fragments: set[Fragment] = set()
+    vertex_label = graph.vertex_label
+    for u, v, elabel in graph.edges():
+        lu, le, lv = normalize_triple(
+            vertex_label(u), elabel, vertex_label(v)
+        )
+        fragments.add(("e", lu, le, lv))
+    for center in graph.vertices():
+        incident = [
+            (vertex_label(w), elabel) for w, elabel in graph.neighbors(center)
+        ]
+        lm = vertex_label(center)
+        for i in range(len(incident)):
+            la, ea = incident[i]
+            for j in range(i + 1, len(incident)):
+                lb, eb = incident[j]
+                if (lb, eb) < (la, ea):
+                    fragments.add(("p", lb, eb, lm, ea, la))
+                else:
+                    fragments.add(("p", la, ea, lm, eb, lb))
+    result = frozenset(fragments)
+    _FRAGMENTS_CACHE[graph] = (graph.version, result)
+    return result
+
+
+class FragmentIndex:
+    """Fragment -> posting lists over patterns and (optionally) graphs.
+
+    Patterns are addressed by their position ``pid`` in the catalog's
+    deterministic order; graphs by their database ``gid``.
+    """
+
+    def __init__(
+        self,
+        pattern_fragments: Sequence[frozenset[Fragment]],
+        graph_fragment_sets: dict[int, frozenset[Fragment]] | None = None,
+        graph_versions: dict[int, int] | None = None,
+    ) -> None:
+        self.pattern_fragments: tuple[frozenset[Fragment], ...] = tuple(
+            pattern_fragments
+        )
+        self.pattern_postings: dict[Fragment, tuple[int, ...]] = {}
+        postings: dict[Fragment, list[int]] = {}
+        for pid, fragments in enumerate(self.pattern_fragments):
+            for fragment in fragments:
+                postings.setdefault(fragment, []).append(pid)
+        self.pattern_postings = {
+            fragment: tuple(pids) for fragment, pids in postings.items()
+        }
+        self.graph_fragment_sets = graph_fragment_sets
+        self.graph_versions = graph_versions
+        self.graph_postings: dict[Fragment, frozenset[int]] | None = None
+        if graph_fragment_sets is not None:
+            gpost: dict[Fragment, set[int]] = {}
+            for gid, fragments in graph_fragment_sets.items():
+                for fragment in fragments:
+                    gpost.setdefault(fragment, set()).add(gid)
+            self.graph_postings = {
+                fragment: frozenset(gids) for fragment, gids in gpost.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        patterns: Iterable[LabeledGraph],
+        database: GraphDatabase | None = None,
+    ) -> "FragmentIndex":
+        """Index pattern graphs (pid = iteration order) and, when given,
+        the database's graphs (with version stamps for drift detection)."""
+        pattern_fragments = [graph_fragments(p) for p in patterns]
+        graph_sets = None
+        graph_versions = None
+        if database is not None:
+            graph_sets = {
+                gid: graph_fragments(graph) for gid, graph in database
+            }
+            graph_versions = {
+                gid: graph.version for gid, graph in database
+            }
+        return cls(pattern_fragments, graph_sets, graph_versions)
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.pattern_fragments)
+
+    @property
+    def has_graph_postings(self) -> bool:
+        return self.graph_postings is not None
+
+    # ------------------------------------------------------------------
+    # Candidate filtering
+    # ------------------------------------------------------------------
+    def candidate_patterns(
+        self, fragments: frozenset[Fragment]
+    ) -> list[int]:
+        """Pids whose fragment set is contained in ``fragments``.
+
+        Classic feature-count filtering: walk the given fragments' posting
+        lists, count hits per pattern, keep patterns whose full fragment
+        set was covered.  Fragment-free patterns (single vertices) can
+        never be pruned and are always candidates.
+        """
+        counts: dict[int, int] = {}
+        for fragment in fragments:
+            for pid in self.pattern_postings.get(fragment, ()):
+                counts[pid] = counts.get(pid, 0) + 1
+        candidates = [
+            pid
+            for pid, count in counts.items()
+            if count == len(self.pattern_fragments[pid])
+        ]
+        candidates.extend(
+            pid
+            for pid, owned in enumerate(self.pattern_fragments)
+            if not owned
+        )
+        candidates.sort()
+        return candidates
+
+    def candidate_graphs(
+        self, fragments: frozenset[Fragment]
+    ) -> set[int] | None:
+        """Gids (at index-build versions) that hold every given fragment.
+
+        ``None`` when the index was built without a database.  A pattern
+        with no fragments cannot be pruned: every indexed gid comes back.
+        """
+        if self.graph_postings is None:
+            return None
+        assert self.graph_versions is not None
+        if not fragments:
+            return set(self.graph_versions)
+        candidates: set[int] | None = None
+        for fragment in fragments:
+            gids = self.graph_postings.get(fragment)
+            if not gids:
+                return set()
+            candidates = (
+                set(gids) if candidates is None else candidates & gids
+            )
+            if not candidates:
+                return set()
+        assert candidates is not None
+        return candidates
+
+    def subpattern_candidates(self, pid: int) -> list[int]:
+        """Pids that may embed *into* pattern ``pid`` (itself included)."""
+        return self.candidate_patterns(self.pattern_fragments[pid])
+
+    def superpattern_candidates(self, pid: int) -> list[int]:
+        """Pids that pattern ``pid`` may embed into (itself included)."""
+        fragments = self.pattern_fragments[pid]
+        if not fragments:
+            return list(range(self.num_patterns))
+        candidates: set[int] | None = None
+        for fragment in fragments:
+            pids = set(self.pattern_postings.get(fragment, ()))
+            candidates = pids if candidates is None else candidates & pids
+            if not candidates:
+                return []
+        assert candidates is not None
+        return sorted(candidates)
+
+    def stale_gids(self, database: GraphDatabase) -> set[int]:
+        """Gids whose graph drifted since the index was built.
+
+        A gid is stale when it is missing from the index or its stored
+        version stamp no longer matches the live graph (in-place update or
+        instance replacement).  Stale graphs have unreliable posting lists
+        and must be treated as always-candidates by the caller.
+        """
+        if self.graph_versions is None:
+            return {gid for gid, _ in database}
+        versions = self.graph_versions
+        return {
+            gid
+            for gid, graph in database
+            if versions.get(gid) != graph.version
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form: interned fragment table + per-entity fid lists."""
+        fragment_ids: dict[Fragment, int] = {}
+
+        def fid(fragment: Fragment) -> int:
+            known = fragment_ids.get(fragment)
+            if known is None:
+                known = len(fragment_ids)
+                fragment_ids[fragment] = known
+            return known
+
+        patterns = [
+            sorted(fid(f) for f in fragments)
+            for fragments in self.pattern_fragments
+        ]
+        graphs = None
+        if self.graph_fragment_sets is not None:
+            assert self.graph_versions is not None
+            graphs = {
+                str(gid): {
+                    "version": self.graph_versions[gid],
+                    "fragments": sorted(fid(f) for f in fragments),
+                }
+                for gid, fragments in self.graph_fragment_sets.items()
+            }
+        return {
+            "format": INDEX_FORMAT_VERSION,
+            "fragments": [list(f) for f in fragment_ids],
+            "patterns": patterns,
+            "graphs": graphs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FragmentIndex":
+        if data.get("format") != INDEX_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fragment-index format {data.get('format')!r}"
+            )
+        table = [tuple(raw) for raw in data["fragments"]]
+        pattern_fragments = [
+            frozenset(table[i] for i in fids) for fids in data["patterns"]
+        ]
+        graph_sets = None
+        graph_versions = None
+        if data.get("graphs") is not None:
+            graph_sets = {}
+            graph_versions = {}
+            for gid_text, record in data["graphs"].items():
+                gid = int(gid_text)
+                graph_sets[gid] = frozenset(
+                    table[i] for i in record["fragments"]
+                )
+                graph_versions[gid] = record["version"]
+        return cls(pattern_fragments, graph_sets, graph_versions)
+
+    def save(self, path: str | Path) -> None:
+        """Atomically write the index as JSON (tmp file + rename)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as out:
+                json.dump(self.to_dict(), out)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FragmentIndex":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FragmentIndex):
+            return NotImplemented
+        return (
+            self.pattern_fragments == other.pattern_fragments
+            and self.graph_fragment_sets == other.graph_fragment_sets
+            and self.graph_versions == other.graph_versions
+        )
+
+    def __repr__(self) -> str:
+        graphs = (
+            len(self.graph_versions)
+            if self.graph_versions is not None
+            else 0
+        )
+        return (
+            f"FragmentIndex(patterns={self.num_patterns}, graphs={graphs}, "
+            f"fragments={len(self.pattern_postings)})"
+        )

@@ -65,6 +65,13 @@ class TestExamples:
         assert "journal replay verified" in out
         assert "month 1 -> month 2" in out
 
+    def test_serve_and_query(self):
+        out = run_example("serve_and_query.py")
+        assert "published snapshot v1" in out
+        assert "hot-reload: service now at snapshot v2" in out
+        assert "verified against direct engine" in out
+        assert "service shut down cleanly" in out
+
     def test_every_example_file_is_covered(self):
         scripts = {p.name for p in EXAMPLES.glob("*.py")}
         covered = {
@@ -76,5 +83,6 @@ class TestExamples:
             "pattern_warehouse.py",
             "pattern_explorer.py",
             "resumable_mining.py",
+            "serve_and_query.py",
         }
         assert scripts == covered, "new example missing a smoke test"

@@ -101,3 +101,92 @@ class TestCoverage:
         assert coverage(PatternSet(), GraphDatabase()) == (0.0, set())
         db = GraphDatabase.from_graphs([triangle()])
         assert coverage(PatternSet(), db) == (0.0, set())
+
+
+class TestQueryAcceleration:
+    """match_patterns/coverage with and without the candidate filters."""
+
+    def relocation_case(self, seed):
+        source = random_database(seed=seed, num_graphs=8, n=6)
+        target = random_database(seed=seed + 1, num_graphs=10, n=6)
+        return GSpanMiner().mine(source, 3), target
+
+    def test_match_patterns_accel_identical(self):
+        for induced in (False, True):
+            mined, target = self.relocation_case(1200)
+            fast = match_patterns(mined, target, induced=induced)
+            slow = match_patterns(
+                mined, target, induced=induced, use_accel=False
+            )
+            assert fast.keys() == slow.keys()
+            for p in fast:
+                assert p.tids == slow.get(p.key).tids
+
+    def test_min_support_identical_under_accel(self):
+        mined, target = self.relocation_case(1210)
+        fast = match_patterns(mined, target, min_support=3)
+        slow = match_patterns(
+            mined, target, min_support=3, use_accel=False
+        )
+        assert fast.keys() == slow.keys()
+
+    def test_coverage_accel_identical(self):
+        for induced in (False, True):
+            mined, target = self.relocation_case(1220)
+            assert coverage(mined, target, induced=induced) == coverage(
+                mined, target, induced=induced, use_accel=False
+            )
+
+    def test_accel_avoids_searches(self, monkeypatch):
+        import repro.query as query_mod
+
+        mined, target = self.relocation_case(1230)
+        real = query_mod.find_embeddings
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(query_mod, "find_embeddings", counting)
+
+        def searches(**kwargs):
+            calls["n"] = 0
+            match_patterns(mined, target, **kwargs)
+            return calls["n"]
+
+        assert searches(use_accel=True) < searches(use_accel=False)
+
+    def test_global_switch_disables_filtering(self, monkeypatch):
+        import repro.query as query_mod
+        from repro import perf
+
+        mined, target = self.relocation_case(1240)
+        real = query_mod.find_embeddings
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(query_mod, "find_embeddings", counting)
+        with perf.disabled():
+            gated = match_patterns(mined, target)
+            gated_calls, calls["n"] = calls["n"], 0
+            plain = match_patterns(mined, target, use_accel=False)
+            plain_calls = calls["n"]
+        assert gated.keys() == plain.keys()
+        assert gated_calls == plain_calls  # accel request was a no-op
+
+    def test_vertex_only_pattern_matches_everywhere(self):
+        target = random_database(seed=1250, num_graphs=5, n=5)
+        dot = make_graph([0], [])
+        # Edge-free graphs have no canonical DFS code; key by hand.
+        patterns = PatternSet(
+            [Pattern(graph=dot, key=("v", 0), support=1, tids=frozenset([0]))]
+        )
+        fast = match_patterns(patterns, target)
+        slow = match_patterns(patterns, target, use_accel=False)
+        assert fast.keys() == slow.keys()
+        for p in fast:
+            assert p.tids == slow.get(p.key).tids

@@ -1,0 +1,155 @@
+"""Tests for the versioned pattern catalog (repro.serve.catalog)."""
+
+import json
+
+import pytest
+
+from repro.mining.base import Pattern, PatternSet
+from repro.mining.gspan import GSpanMiner
+from repro.serve.catalog import (
+    CatalogSnapshot,
+    PatternCatalog,
+    catalog_order,
+)
+from repro.serve.index import FragmentIndex
+
+from .conftest import path_graph, random_database, triangle
+
+
+def mined(seed=5100, num_graphs=8, min_support=3):
+    db = random_database(seed=seed, num_graphs=num_graphs)
+    return db, GSpanMiner().mine(db, min_support)
+
+
+class TestCatalogOrder:
+    def test_order_is_deterministic(self):
+        _, patterns = mined()
+        once = [p.key for p in catalog_order(patterns)]
+        again = [p.key for p in catalog_order(patterns)]
+        assert once == again
+
+    def test_size_then_support_desc(self):
+        ordered = catalog_order(
+            PatternSet(
+                [
+                    Pattern.from_graph(path_graph(3), [0]),
+                    Pattern.from_graph(triangle(), [0, 1, 2]),
+                    Pattern.from_graph(path_graph(2), [0, 1]),
+                ]
+            )
+        )
+        assert [p.size for p in ordered] == [1, 2, 3]
+
+
+class TestSnapshot:
+    def test_entries_match_order(self):
+        _, patterns = mined(seed=5101)
+        ordered = catalog_order(patterns)
+        index = FragmentIndex.build(p.graph for p in ordered)
+        snapshot = CatalogSnapshot(1, patterns, index, {})
+        assert len(snapshot) == len(patterns)
+        for pid, entry in enumerate(snapshot.entries):
+            assert entry.pid == pid
+            assert entry.key == ordered[pid].key
+            assert entry.support == ordered[pid].support
+            assert snapshot.entry(pid) is entry
+
+    def test_index_size_mismatch_rejected(self):
+        _, patterns = mined(seed=5102)
+        index = FragmentIndex.build([triangle()])
+        with pytest.raises(ValueError, match="index covers"):
+            CatalogSnapshot(1, patterns, index, {})
+
+
+class TestPublishLoad:
+    def test_empty_catalog(self, tmp_path):
+        catalog = PatternCatalog(tmp_path / "cat")
+        assert catalog.manifest() is None
+        assert catalog.current_version() is None
+        with pytest.raises(FileNotFoundError, match="no snapshot"):
+            catalog.load()
+
+    def test_publish_then_load_roundtrip(self, tmp_path):
+        db, patterns = mined(seed=5200)
+        catalog = PatternCatalog(tmp_path / "cat")
+        published = catalog.publish(
+            patterns, meta={"note": "v1"}, database=db
+        )
+        assert published.version == 1
+        loaded = catalog.load()
+        assert loaded.version == 1
+        assert loaded.meta == {"note": "v1"}
+        assert loaded.patterns.keys() == patterns.keys()
+        assert loaded.index == published.index
+        assert [e.key for e in loaded.entries] == [
+            e.key for e in published.entries
+        ]
+
+    def test_versions_increment(self, tmp_path):
+        db, patterns = mined(seed=5201)
+        catalog = PatternCatalog(tmp_path / "cat")
+        assert catalog.publish(patterns).version == 1
+        assert catalog.publish(patterns, database=db).version == 2
+        assert catalog.current_version() == 2
+        assert catalog.versions_on_disk() == [1, 2]
+        assert catalog.load().version == 2
+
+    def test_manifest_swap_is_atomic(self, tmp_path):
+        _, patterns = mined(seed=5202)
+        catalog = PatternCatalog(tmp_path / "cat")
+        catalog.publish(patterns)
+        # No temp file left behind, and the manifest names a snapshot
+        # directory that is fully present on disk.
+        leftovers = [
+            p.name
+            for p in (tmp_path / "cat").iterdir()
+            if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        manifest = catalog.manifest()
+        snapshot_dir = tmp_path / "cat" / manifest["snapshot"]
+        assert (snapshot_dir / "patterns.jsonl").exists()
+        assert (snapshot_dir / "index.json").exists()
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        catalog_dir = tmp_path / "cat"
+        catalog_dir.mkdir()
+        (catalog_dir / "manifest.json").write_text(
+            json.dumps({"format": 99, "version": 1})
+        )
+        with pytest.raises(ValueError, match="catalog format"):
+            PatternCatalog(catalog_dir).manifest()
+
+    def test_pattern_count_mismatch_rejected(self, tmp_path):
+        _, patterns = mined(seed=5203)
+        catalog = PatternCatalog(tmp_path / "cat")
+        catalog.publish(patterns)
+        manifest_path = tmp_path / "cat" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["patterns"] = len(patterns) + 5
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="manifest says"):
+            catalog.load()
+
+
+class TestPrune:
+    def test_prune_keeps_newest(self, tmp_path):
+        db, patterns = mined(seed=5300)
+        catalog = PatternCatalog(tmp_path / "cat")
+        for _ in range(4):
+            catalog.publish(patterns, database=db)
+        removed = catalog.prune(keep=2)
+        assert removed == [1, 2]
+        assert catalog.versions_on_disk() == [3, 4]
+        assert catalog.load().version == 4
+
+    def test_prune_never_removes_current(self, tmp_path):
+        _, patterns = mined(seed=5301)
+        catalog = PatternCatalog(tmp_path / "cat")
+        catalog.publish(patterns)
+        assert catalog.prune(keep=1) == []
+        assert catalog.load().version == 1
+
+    def test_prune_requires_positive_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            PatternCatalog(tmp_path / "cat").prune(keep=0)

@@ -1,6 +1,7 @@
 """Tests for pattern-set persistence."""
 
 import io
+import json
 
 import pytest
 
@@ -93,3 +94,81 @@ class TestValidation:
         text = buffer.getvalue().replace("\n", "\n\n")
         back, _ = load_patterns(iter(text.splitlines()))
         assert back.keys() == patterns.keys()
+
+
+class TestSchemaVersion:
+    def header(self, patterns):
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer)
+        return json.loads(buffer.getvalue().splitlines()[0])
+
+    def test_header_carries_schema_version(self):
+        from repro.mining.store import SCHEMA_VERSION
+
+        header = self.header(mined(810))
+        assert header["schema_version"] == SCHEMA_VERSION
+
+    def test_schema1_file_upgraded_on_load(self):
+        # Schema 1: no schema_version header entry, no support field.
+        patterns = mined(811)
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer)
+        lines = []
+        for line in buffer.getvalue().splitlines():
+            record = json.loads(line)
+            record.pop("schema_version", None)
+            record.pop("support", None)
+            lines.append(json.dumps(record))
+        back, _ = load_patterns(iter(lines))
+        assert back.keys() == patterns.keys()
+        for p in back:
+            assert p.support == patterns.get(p.key).support
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ValueError, match="upgrade the library"):
+            load_patterns(
+                iter(
+                    [
+                        '{"kind": "header", "version": 1, '
+                        '"schema_version": 99, "patterns": 0}'
+                    ]
+                )
+            )
+
+    def test_invalid_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            load_patterns(
+                iter(
+                    [
+                        '{"kind": "header", "version": 1, '
+                        '"schema_version": "two", "patterns": 0}'
+                    ]
+                )
+            )
+
+    def test_missing_required_field_named(self):
+        lines = [
+            '{"kind": "header", "version": 1, "schema_version": 2, '
+            '"patterns": 1}',
+            '{"kind": "pattern", "vertices": [0, 0], "tids": [0]}',
+        ]
+        with pytest.raises(ValueError, match="required field 'edges'"):
+            load_patterns(iter(lines))
+
+    def test_support_tid_mismatch_rejected(self):
+        lines = [
+            '{"kind": "header", "version": 1, "schema_version": 2, '
+            '"patterns": 1}',
+            '{"kind": "pattern", "vertices": [0, 0], '
+            '"edges": [[0, 1, 0]], "tids": [0, 1], "support": 7}',
+        ]
+        with pytest.raises(ValueError, match="corrupt pattern record"):
+            load_patterns(iter(lines))
+
+    def test_schema_version_not_leaked_into_meta(self):
+        patterns = mined(812)
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer, meta={"note": "x"})
+        buffer.seek(0)
+        _, meta = load_patterns(buffer)
+        assert meta == {"note": "x"}
