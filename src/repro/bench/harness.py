@@ -86,11 +86,14 @@ class Experiment:
         }
 
     def save(self, directory: str | Path) -> Path:
+        """Atomically persist the result JSON (a crash mid-dump must not
+        leave a truncated file that poisons EXPERIMENTS.md generation)."""
+        from ..resilience import integrity
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.exp_id}.json"
-        with open(path, "w", encoding="utf-8") as out:
-            json.dump(self.to_dict(), out, indent=2)
+        integrity.atomic_write_json(path, self.to_dict())
         return path
 
 

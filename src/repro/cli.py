@@ -35,14 +35,63 @@ from .partition.dbpartition import db_partition
 from .partition.graphpart import GraphPartitioner
 from .partition.metis import MetisPartitioner
 from .partition.weights import PartitionWeights
+from .resilience import faults
+from .resilience.errors import (
+    ArtifactCorrupt,
+    BudgetExceeded,
+    exit_code_for,
+)
 from .updates.generator import UPDATE_KINDS, UpdateGenerator
 from .updates.model import apply_updates
 from .updates.tracker import hot_vertex_assignment
+
+SITE_RUN = faults.register_site(
+    "cli.run", "top-level CLI command dispatch"
+)
+
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  1  unclassified error
+  2  usage error (bad arguments)
+  3  corrupt stored artifact (checksum/structure miss; bad bytes
+     quarantined to <name>.corrupt/)
+  4  graph input failed t/v/e parsing (see --on-parse-error)
+  5  resource budget exceeded (deadline or memory watermark)
+"""
 
 
 def _support(text: str) -> float | int:
     value = float(text)
     return int(value) if value >= 1 and value == int(value) else value
+
+
+def _add_parse_policy(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--on-parse-error`` to a database-reading subcommand."""
+    parser.add_argument(
+        "--on-parse-error",
+        choices=["raise", "skip"],
+        default="raise",
+        help="malformed t/v/e input: 'raise' aborts with exit code 4 "
+             "(default); 'skip' drops the poisoned graph and continues",
+    )
+
+
+def _load_database(args: argparse.Namespace, path=None):
+    """Read a database honoring the subcommand's parse-error policy."""
+    on_error = getattr(args, "on_parse_error", "raise")
+    report = graph_io.ParseReport()
+    database = graph_io.read_database(
+        path if path is not None else args.database,
+        on_error=on_error,
+        report=report,
+    )
+    if report.graphs_skipped:
+        print(
+            f"warning: {report.summary()}",
+            file=sys.stderr,
+        )
+    return database
 
 
 # ----------------------------------------------------------------------
@@ -62,7 +111,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_mine(args: argparse.Namespace) -> int:
     """Mine frequent patterns with the chosen algorithm."""
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     start = time.perf_counter()
     if args.algorithm == "partminer":
         partitioner = None
@@ -125,6 +174,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 "support": args.support,
                 "algorithm": args.algorithm,
             },
+            atomic=True,
         )
         print(f"saved to {args.output}")
     else:
@@ -142,7 +192,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
 def cmd_partition(args: argparse.Namespace) -> int:
     """Split a database into k units and report cut statistics."""
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     ufreq = None
     if args.hot_fraction:
         ufreq = hot_vertex_assignment(
@@ -166,7 +216,7 @@ def cmd_partition(args: argparse.Namespace) -> int:
 
 def cmd_update(args: argparse.Namespace) -> int:
     """Apply a random update batch and write the result."""
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     ufreq = hot_vertex_assignment(
         database, hot_fraction=args.hot_fraction, seed=args.seed
     )
@@ -193,7 +243,7 @@ def cmd_show(args: argparse.Namespace) -> int:
         patterns, _ = read_patterns(args.input)
         print(patterns_to_dot(patterns, max_patterns=args.top))
     else:
-        database = graph_io.read_database(args.input)
+        database = _load_database(args, path=args.input)
         gid = args.gid if args.gid is not None else database.gids()[0]
         print(graph_to_dot(database[gid], name=f"g{gid}"))
     return 0
@@ -203,7 +253,7 @@ def cmd_match(args: argparse.Namespace) -> int:
     """Locate a stored pattern set inside a database."""
     from .query import coverage, match_patterns
 
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     patterns, meta = read_patterns(args.patterns)
     relocated = match_patterns(
         patterns,
@@ -230,6 +280,7 @@ def cmd_match(args: argparse.Namespace) -> int:
         save_patterns(
             relocated, args.output,
             meta={"database": args.database, "relocated_from": args.patterns},
+            atomic=True,
         )
         print(f"saved to {args.output}")
     return 0
@@ -243,7 +294,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     the default is the linear :func:`repro.query.match_patterns` scan.
     Both paths produce identical supports and TID lists.
     """
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     patterns, _ = read_patterns(args.patterns)
     start = time.perf_counter()
     if args.via_index:
@@ -296,6 +347,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         save_patterns(
             relocated, args.output,
             meta={"database": args.database, "relocated_from": args.patterns},
+            atomic=True,
         )
         print(f"saved to {args.output}")
     return 0
@@ -305,7 +357,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Publish (optionally) and serve a pattern catalog over HTTP."""
     from .serve import PatternCatalog, PatternService
 
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     catalog = PatternCatalog(args.catalog)
     if args.patterns:
         patterns, meta = read_patterns(args.patterns)
@@ -358,7 +410,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print database statistics."""
-    database = graph_io.read_database(args.database)
+    database = _load_database(args)
     vertex_support = database.vertex_label_support()
     edge_support = database.edge_triple_support()
     print(f"graphs:          {len(database)}")
@@ -382,6 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PartMiner: partition-based graph mining (ICDE 2006)",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--no-accel", action="store_true",
@@ -433,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory resumes, skipping finished units")
     p.add_argument("--telemetry", default=None,
                    help="also write runtime telemetry JSON here")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_mine)
 
     p = sub.add_parser("partition", help="split a database into units")
@@ -442,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output-prefix",
                    help="write each unit to PREFIX<i>.tve")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_partition)
 
     p = sub.add_parser("update", help="apply a random update batch")
@@ -455,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="label domain size for new labels")
     p.add_argument("--hot-fraction", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=0)
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_update)
 
     p = sub.add_parser("show", help="export as Graphviz DOT")
@@ -465,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="graph id to show (databases)")
     p.add_argument("--top", type=int, default=20,
                    help="max patterns to include")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_show)
 
     p = sub.add_parser("match", help="locate stored patterns in a database")
@@ -475,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-support", type=_support, default=None)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--output", help="save relocated patterns here")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_match)
 
     p = sub.add_parser(
@@ -494,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-support", type=_support, default=None)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--output", help="save relocated patterns here")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -513,10 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "hot-reload new snapshots")
     p.add_argument("--telemetry", default=None,
                    help="write a serving telemetry JSON on shutdown")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stats", help="database statistics")
     p.add_argument("database")
+    _add_parse_policy(p)
     p.set_defaults(func=cmd_stats)
 
     return parser
@@ -531,6 +593,7 @@ def main(argv: list[str] | None = None) -> int:
 
         perf.set_enabled(False)
     try:
+        faults.fire(SITE_RUN, command=args.command)
         return args.func(args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; exiting quietly is the Unix way.
@@ -538,6 +601,16 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ArtifactCorrupt as exc:
+        where = f" (quarantined to {exc.quarantined})" if exc.quarantined else ""
+        print(f"repro: corrupt artifact: {exc}{where}", file=sys.stderr)
+        return exit_code_for(exc)
+    except graph_io.GraphParseError as exc:
+        print(f"repro: parse error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    except BudgetExceeded as exc:
+        print(f"repro: budget exceeded: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,16 +7,94 @@ Uses the line-based format shared by gSpan/Gaston/FSG tooling::
     e <u> <v> <label>
 
 Labels round-trip as ints when they look like ints, as strings otherwise.
+
+Parsing is **strict**: every malformed line raises a structured
+:class:`GraphParseError` carrying file/line/token provenance.  Because a
+single poisoned graph should not abort a million-graph load, the readers
+take an ``on_error`` policy:
+
+``"raise"``
+    (default) fail fast on the first malformed line;
+``"skip"``
+    drop the graph the bad line belongs to, keep parsing the rest, and
+    count what was dropped in the :class:`ParseReport`;
+``"collect"``
+    like ``skip`` but the report keeps every :class:`GraphParseError`
+    for a per-line diagnosis.
 """
 
 from __future__ import annotations
 
 import io
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
+from ..resilience import faults
 from .database import GraphDatabase
 from .labeled_graph import Label, LabeledGraph
+
+ON_ERROR_POLICIES = ("raise", "skip", "collect")
+
+SITE_PARSE = faults.register_site(
+    "graph.parse", "t/v/e line parsing (strict validation)"
+)
+
+
+class GraphParseError(ValueError):
+    """A malformed ``t/v/e`` record, with full provenance.
+
+    Attributes: ``source`` (file name or ``"<stream>"``), ``line``
+    (1-based), ``token`` (the offending token, when one is isolable),
+    ``gid`` (the graph being parsed, when known).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        line: int | None = None,
+        token: str | None = None,
+        gid: int | None = None,
+    ) -> None:
+        where = f"{source or '<stream>'}:{line if line is not None else '?'}"
+        detail = f"{where}: {message}"
+        if token is not None:
+            detail += f" (token {token!r})"
+        if gid is not None:
+            detail += f" [graph {gid}]"
+        super().__init__(detail)
+        self.source = source
+        self.line = line
+        self.token = token
+        self.gid = gid
+
+
+@dataclass
+class ParseReport:
+    """What a lenient (``skip``/``collect``) parse left behind."""
+
+    graphs_ok: int = 0
+    graphs_skipped: int = 0
+    lines: int = 0
+    errors: list[GraphParseError] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.graphs_skipped == 0 and not self.errors
+
+    def summary(self) -> str:
+        """One line for CLI diagnostics."""
+        if self.clean:
+            return f"{self.graphs_ok} graphs parsed cleanly"
+        detail = (
+            f"{self.graphs_ok} graphs parsed, "
+            f"{self.graphs_skipped} skipped"
+        )
+        if self.errors:
+            detail += f" ({len(self.errors)} parse errors recorded)"
+        return detail
 
 
 def _parse_label(token: str) -> Label:
@@ -65,51 +143,169 @@ def dumps(database: GraphDatabase) -> str:
     return buffer.getvalue()
 
 
-def iter_graphs(lines: Iterable[str]) -> Iterator[tuple[int, LabeledGraph]]:
+def _int_token(
+    token: str, what: str, source, line_number: int, gid
+) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphParseError(
+            f"{what} is not an integer",
+            source=source, line=line_number, token=token, gid=gid,
+        ) from None
+
+
+def _parse_line(
+    parts: list[str],
+    gid: int | None,
+    graph: LabeledGraph | None,
+    source: str | None,
+    line_number: int,
+) -> tuple[int | None, LabeledGraph | None]:
+    """Apply one directive; returns the (gid, graph) state after it."""
+    kind = parts[0]
+    if kind == "t":
+        if len(parts) < 2:
+            raise GraphParseError(
+                "'t' record carries no graph id",
+                source=source, line=line_number,
+            )
+        gid = _int_token(parts[-1], "graph id", source, line_number, None)
+        return gid, LabeledGraph()
+    if kind == "v":
+        if graph is None:
+            raise GraphParseError(
+                "vertex before 't' record",
+                source=source, line=line_number,
+            )
+        if len(parts) != 3:
+            raise GraphParseError(
+                f"'v' record needs 2 fields, got {len(parts) - 1}",
+                source=source, line=line_number, gid=gid,
+            )
+        vid = _int_token(parts[1], "vertex id", source, line_number, gid)
+        if vid != graph.num_vertices:
+            raise GraphParseError(
+                f"vertex id {vid} out of order "
+                f"(expected {graph.num_vertices})",
+                source=source, line=line_number, token=parts[1], gid=gid,
+            )
+        graph.add_vertex(_parse_label(parts[2]))
+        return gid, graph
+    if kind == "e":
+        if graph is None:
+            raise GraphParseError(
+                "edge before 't' record",
+                source=source, line=line_number,
+            )
+        if len(parts) != 4:
+            raise GraphParseError(
+                f"'e' record needs 3 fields, got {len(parts) - 1}",
+                source=source, line=line_number, gid=gid,
+            )
+        u = _int_token(parts[1], "edge endpoint", source, line_number, gid)
+        v = _int_token(parts[2], "edge endpoint", source, line_number, gid)
+        try:
+            graph.add_edge(u, v, _parse_label(parts[3]))
+        except (ValueError, IndexError, KeyError) as exc:
+            raise GraphParseError(
+                str(exc), source=source, line=line_number, gid=gid
+            ) from None
+        return gid, graph
+    raise GraphParseError(
+        f"unknown directive {kind!r}",
+        source=source, line=line_number, token=kind, gid=gid,
+    )
+
+
+def iter_graphs(
+    lines: Iterable[str],
+    *,
+    on_error: str = "raise",
+    source: str | None = None,
+    report: ParseReport | None = None,
+) -> Iterator[tuple[int, LabeledGraph]]:
     """Parse ``t/v/e`` lines into ``(gid, graph)`` pairs.
 
-    Raises :class:`ValueError` on malformed records (edge before its vertices,
-    vertex ids out of order, unknown directives).
+    ``on_error`` is one of ``"raise"`` / ``"skip"`` / ``"collect"`` (see
+    module docs); lenient modes record what they dropped into
+    ``report``.  Raises :class:`GraphParseError` on malformed records
+    under the default policy.
     """
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+    if report is None:
+        report = ParseReport()
     gid: int | None = None
     graph: LabeledGraph | None = None
+    poisoned = False  # current graph had a bad record; swallow its rest
     for line_number, raw in enumerate(lines, start=1):
+        report.lines = line_number
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         parts = line.split()
-        kind = parts[0]
-        if kind == "t":
-            if graph is not None and gid is not None:
+        starts_graph = parts[0] == "t"
+        if poisoned and not starts_graph:
+            continue
+        try:
+            faults.fire(
+                SITE_PARSE, source=source or "<stream>", line=line_number
+            )
+            if starts_graph and graph is not None and gid is not None:
                 yield gid, graph
-            gid = int(parts[-1])
-            graph = LabeledGraph()
-        elif kind == "v":
-            if graph is None:
-                raise ValueError(f"line {line_number}: vertex before 't' record")
-            vid = int(parts[1])
-            if vid != graph.num_vertices:
-                raise ValueError(
-                    f"line {line_number}: vertex id {vid} out of order "
-                    f"(expected {graph.num_vertices})"
-                )
-            graph.add_vertex(_parse_label(parts[2]))
-        elif kind == "e":
-            if graph is None:
-                raise ValueError(f"line {line_number}: edge before 't' record")
-            graph.add_edge(int(parts[1]), int(parts[2]), _parse_label(parts[3]))
+                report.graphs_ok += 1
+                graph = None
+            new_gid, new_graph = _parse_line(
+                parts, gid, graph, source, line_number
+            )
+        except GraphParseError as exc:
+            if on_error == "raise":
+                raise
+            if on_error == "collect":
+                report.errors.append(exc)
+            if poisoned or graph is not None or starts_graph:
+                # the error poisons the graph under construction (or the
+                # one the bad 't' line would have started)
+                if not poisoned:
+                    report.graphs_skipped += 1
+                poisoned = True
+                graph = None
+                gid = None
+            continue
         else:
-            raise ValueError(f"line {line_number}: unknown directive {kind!r}")
-    if graph is not None and gid is not None:
+            if starts_graph:
+                poisoned = False
+            gid, graph = new_gid, new_graph
+    if graph is not None and gid is not None and not poisoned:
         yield gid, graph
+        report.graphs_ok += 1
 
 
-def read_database(path: str | Path) -> GraphDatabase:
-    """Read a database from a ``t/v/e`` file."""
+def read_database(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    report: ParseReport | None = None,
+) -> GraphDatabase:
+    """Read a database from a ``t/v/e`` file.
+
+    ``on_error``/``report`` follow :func:`iter_graphs`; pass a
+    :class:`ParseReport` to learn what a lenient load skipped.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return GraphDatabase(iter_graphs(handle))
+        return GraphDatabase(
+            iter_graphs(
+                handle,
+                on_error=on_error,
+                source=str(path),
+                report=report,
+            )
+        )
 
 
-def loads(text: str) -> GraphDatabase:
+def loads(text: str, *, on_error: str = "raise") -> GraphDatabase:
     """Parse a database from a ``t/v/e`` string."""
-    return GraphDatabase(iter_graphs(text.splitlines()))
+    return GraphDatabase(iter_graphs(text.splitlines(), on_error=on_error))

@@ -24,11 +24,14 @@ deep inside record parsing, and records missing required fields raise
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import IO, Iterator
 
 from ..graph.labeled_graph import LabeledGraph
+from ..resilience import integrity
+from ..resilience.errors import ArtifactCorrupt
 from .base import Pattern, PatternSet
 
 FORMAT_VERSION = 1
@@ -121,9 +124,14 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
     patterns = PatternSet()
     for line in iterator:
         line = line.strip()
-        if not line:
+        if not line or line.startswith("#"):
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt pattern record (not JSON): {exc}"
+            ) from None
         if record.get("kind") != "pattern":
             raise ValueError(f"unexpected record kind {record.get('kind')!r}")
         if schema < SCHEMA_VERSION:
@@ -147,27 +155,50 @@ def save_patterns(
     path: str | Path,
     meta: dict | None = None,
     atomic: bool = False,
+    checksum: bool | None = None,
 ) -> None:
     """Write ``patterns`` to ``path``.
 
-    ``atomic=True`` writes through a sibling temp file and renames it into
-    place, so readers (and a resumed run scanning checkpoints) never see a
-    torn file — the write either fully happened or not at all.
+    ``atomic=True`` writes through a sibling temp file, ``fsync``\\ s and
+    renames it into place, so readers (and a resumed run scanning
+    checkpoints) never see a torn file — the write either fully happened
+    or not at all.  ``checksum`` (default: same as ``atomic``) appends
+    the :mod:`repro.resilience.integrity` sha256 footer, which
+    :func:`read_patterns` verifies — bit rot is then *detected*, not
+    parsed into garbage.
     """
     path = Path(path)
-    if not atomic:
+    if checksum is None:
+        checksum = atomic
+    buffer = io.StringIO()
+    dump_patterns(patterns, buffer, meta)
+    text = buffer.getvalue()
+    if checksum:
+        text = integrity.frame(text)
+    if atomic:
+        integrity.atomic_write_text(path, text)
+    else:
         with open(path, "w", encoding="utf-8") as out:
-            dump_patterns(patterns, out, meta)
-        return
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp, "w", encoding="utf-8") as out:
-            dump_patterns(patterns, out, meta)
-        tmp.replace(path)
-    finally:
-        tmp.unlink(missing_ok=True)
+            out.write(text)
 
 
 def read_patterns(path: str | Path) -> tuple[PatternSet, dict]:
-    with open(path, "r", encoding="utf-8") as handle:
-        return load_patterns(handle)
+    """Read (and integrity-verify) a pattern file.
+
+    A sha256-footer mismatch quarantines the file to ``<name>.corrupt/``
+    and raises :class:`~repro.resilience.errors.ArtifactCorrupt`; files
+    without a footer (pre-integrity artifacts, hand-written fixtures)
+    load with structural validation only.
+    """
+    path = Path(path)
+    text = integrity.read_checked(path)
+    try:
+        return load_patterns(iter(text.splitlines()))
+    except ArtifactCorrupt:
+        raise
+    except ValueError as exc:
+        # Structurally corrupt but carrying a valid (or no) footer:
+        # surface it as the typed corruption failure with provenance.
+        corrupt = ArtifactCorrupt(f"{path}: {exc}", path=path)
+        corrupt.quarantined = integrity.quarantine(path)
+        raise corrupt from exc

@@ -1,0 +1,225 @@
+"""Deterministic fault injection: a seedable plan over named sites.
+
+Every place the system touches disk, subprocesses or sockets declares a
+**fault site** (:func:`register_site`).  A test builds a
+:class:`FaultPlan`, arms it for some sites, and activates it around the
+code under test::
+
+    plan = FaultPlan(seed=7)
+    plan.inject("artifact.write", corrupt="flip")      # bit-flip the bytes
+    plan.inject("runtime.worker_start", OSError("no fork"), times=2)
+    with plan.active():
+        run_the_pipeline()
+    assert plan.fired  # the faults actually happened
+
+Two injection shapes:
+
+* ``exc`` — :func:`fire` raises it at the site (I/O error, crash, …);
+* ``corrupt`` — :func:`mangle` transforms the bytes flowing through the
+  site (``"flip"`` flips one deterministically-chosen bit, ``"truncate"``
+  cuts the tail off, or pass any ``fn(data, rng) -> data``).
+
+Determinism: a plan owns one ``random.Random(seed)``; every probabilistic
+decision and every corruption position draws from it, so the same seed
+replays the same faults — the chaos suite's runs are reproducible.
+
+The active plan is a module global (set by :meth:`FaultPlan.active`), so
+instrumented library code needs no plumbing; with no active plan every
+hook is a near-free no-op.  Worker *processes* do not inherit the plan —
+in-child faults are injected via worker shims (see
+``tests/test_runtime_faults.py``); this module covers the parent-side
+sites.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+# ----------------------------------------------------------------------
+# Site registry
+# ----------------------------------------------------------------------
+_SITES: dict[str, str] = {}
+
+
+def register_site(name: str, description: str) -> str:
+    """Declare a fault site; returns ``name`` (assign it to a constant)."""
+    _SITES[name] = description
+    return name
+
+
+def registered_sites() -> dict[str, str]:
+    """Every declared site: name -> description (chaos suite iterates)."""
+    # Importing the instrumented modules registers their sites.
+    from .. import _fault_sites  # noqa: F401  (side-effect import)
+
+    return dict(_SITES)
+
+
+class InjectedFault(RuntimeError):
+    """Default exception type for ``inject(site)`` with no explicit exc."""
+
+
+# ----------------------------------------------------------------------
+# Corruptions
+# ----------------------------------------------------------------------
+def flip_bit(data: bytes, rng: random.Random) -> bytes:
+    """Flip one bit at a position drawn from ``rng``."""
+    if not data:
+        return b"\xff"
+    position = rng.randrange(len(data))
+    mutated = bytearray(data)
+    mutated[position] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the artifact off at a position drawn from ``rng``."""
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+_CORRUPTIONS = {"flip": flip_bit, "truncate": truncate}
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass
+class _Arm:
+    site: str
+    exc: BaseException | None
+    corrupt: object | None  # name, or fn(bytes, rng) -> bytes
+    times: int  # remaining firings; None-like big number = always
+    probability: float
+
+
+@dataclass
+class FiredFault:
+    """One injection that actually happened (for test assertions)."""
+
+    site: str
+    kind: str  # "exc" | "corrupt"
+    detail: str
+    context: dict = field(default_factory=dict)
+
+
+class FaultPlan:
+    """A seeded set of armed fault sites (see module docs)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._arms: dict[str, list[_Arm]] = {}
+        self._lock = threading.Lock()
+        self.fired: list[FiredFault] = []
+
+    def inject(
+        self,
+        site: str,
+        exc: BaseException | type[BaseException] | None = None,
+        *,
+        corrupt: object | None = None,
+        times: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Arm ``site``; returns self for chaining.
+
+        Exactly one of ``exc`` / ``corrupt`` applies; with neither, an
+        :class:`InjectedFault` is raised at the site.  ``times`` bounds
+        how often the arm fires (so retries can eventually succeed);
+        ``probability`` gates each firing on the plan's seeded RNG.
+        """
+        if exc is None and corrupt is None:
+            exc = InjectedFault(f"injected fault at {site}")
+        if isinstance(exc, type):
+            exc = exc(f"injected fault at {site}")
+        self._arms.setdefault(site, []).append(
+            _Arm(site, exc, corrupt, times, probability)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _take(self, site: str, kind: str) -> _Arm | None:
+        """Consume one firing of an armed ``site`` (thread-safe)."""
+        with self._lock:
+            for arm in self._arms.get(site, []):
+                wants = (arm.corrupt is not None) == (kind == "corrupt")
+                if not wants or arm.times <= 0:
+                    continue
+                if (
+                    arm.probability < 1.0
+                    and self.rng.random() >= arm.probability
+                ):
+                    continue
+                arm.times -= 1
+                return arm
+        return None
+
+    def fire(self, site: str, **context) -> None:
+        arm = self._take(site, "exc")
+        if arm is None:
+            return
+        self.fired.append(
+            FiredFault(site, "exc", type(arm.exc).__name__, context)
+        )
+        raise arm.exc
+
+    def mangle(self, site: str, data: bytes, **context) -> bytes:
+        arm = self._take(site, "corrupt")
+        if arm is None:
+            return data
+        fn = (
+            _CORRUPTIONS[arm.corrupt]
+            if isinstance(arm.corrupt, str)
+            else arm.corrupt
+        )
+        with self._lock:
+            mutated = fn(data, self.rng)
+        self.fired.append(
+            FiredFault(
+                site,
+                "corrupt",
+                arm.corrupt if isinstance(arm.corrupt, str) else "custom",
+                context,
+            )
+        )
+        return mutated
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def active(self):
+        """Install this plan as the process-wide active plan."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Hooks called by instrumented code
+# ----------------------------------------------------------------------
+def fire(site: str, **context) -> None:
+    """Raise the planned exception for ``site``, if one is armed."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, **context)
+
+
+def mangle(site: str, data: bytes, **context) -> bytes:
+    """Corrupt ``data`` per the active plan (identity when unarmed)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.mangle(site, data, **context)
+    return data

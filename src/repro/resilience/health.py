@@ -1,0 +1,241 @@
+"""Service health primitives: circuit breakers, deadlines, watermarks.
+
+These are the in-process guards the serving layer (and anything else
+with dependencies) composes:
+
+* :class:`CircuitBreaker` — classic three-state breaker.  ``closed``
+  passes calls through and counts consecutive failures; at
+  ``failure_threshold`` it opens and fails fast
+  (:class:`~repro.resilience.errors.CircuitOpen`) for ``reset_timeout``
+  seconds; then one **half-open** probe is admitted — success closes the
+  breaker, failure re-opens it for another full timeout.
+* :class:`Deadline` — a monotonic-clock budget created at the request
+  edge and *propagated* into long loops, which call :meth:`Deadline.check`
+  between units of work and get a typed
+  :class:`~repro.resilience.errors.DeadlineExceeded` instead of running
+  arbitrarily long.
+* :class:`MemoryWatermark` — resident-set thresholds with three levels:
+  ``ok`` / ``soft`` (shed ballast: drop caches) / ``hard`` (refuse new
+  work).  Degrading in stages is the point — a service under memory
+  pressure gets slower, not OOM-killed.
+
+Everything takes an injectable clock / usage function so tests drive the
+state machines deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from .errors import CircuitOpen, DeadlineExceeded
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-dependency failure isolation (see module docs).  Thread-safe."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False  # a half-open probe is in flight
+        self.stats = {"calls": 0, "failures": 0, "opens": 0, "rejected": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits one probe.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.stats["rejected"] += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._probing = False
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.stats["failures"] += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip()
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._probing = False
+        self.stats["opens"] += 1
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` through the breaker; raises :class:`CircuitOpen`."""
+        if not self.allow():
+            raise CircuitOpen(self.name)
+        with self._lock:
+            self.stats["calls"] += 1
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for health endpoints."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                **self.stats,
+            }
+
+
+# ----------------------------------------------------------------------
+class Deadline:
+    """A wall-clock budget carried from the request edge into the work."""
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self.clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} deadline exceeded "
+                f"(over budget by {-self.remaining():.3f}s)"
+            )
+
+
+# ----------------------------------------------------------------------
+def _rss_bytes() -> int:
+    """Current resident set size; 0 when the platform offers no view."""
+    try:  # Linux: cheap and current
+        statm = Path("/proc/self/statm").read_text().split()
+        import os
+
+        return int(statm[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # portable fallback: peak RSS (monotone, still useful as a cap)
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return rss * (1 if sys.platform == "darwin" else 1024)
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
+
+
+class MemoryWatermark:
+    """Soft/hard resident-memory thresholds (see module docs)."""
+
+    OK = "ok"
+    SOFT = "soft"
+    HARD = "hard"
+
+    def __init__(
+        self,
+        soft_bytes: int | None = None,
+        hard_bytes: int | None = None,
+        usage_fn: Callable[[], int] = _rss_bytes,
+    ) -> None:
+        if (
+            soft_bytes is not None
+            and hard_bytes is not None
+            and soft_bytes > hard_bytes
+        ):
+            raise ValueError("soft watermark above hard watermark")
+        self.soft_bytes = soft_bytes
+        self.hard_bytes = hard_bytes
+        self.usage_fn = usage_fn
+
+    def usage(self) -> int:
+        return self.usage_fn()
+
+    def level(self) -> str:
+        usage = self.usage()
+        if self.hard_bytes is not None and usage >= self.hard_bytes:
+            return self.HARD
+        if self.soft_bytes is not None and usage >= self.soft_bytes:
+            return self.SOFT
+        return self.OK
+
+    def snapshot(self) -> dict:
+        return {
+            "usage_bytes": self.usage(),
+            "soft_bytes": self.soft_bytes,
+            "hard_bytes": self.hard_bytes,
+            "level": self.level(),
+        }

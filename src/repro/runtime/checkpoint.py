@@ -23,6 +23,8 @@ from pathlib import Path
 
 from ..mining.base import PatternSet
 from ..mining.store import read_patterns, save_patterns
+from ..resilience import integrity
+from ..resilience.errors import ArtifactCorrupt
 
 MANIFEST_NAME = "manifest.json"
 TELEMETRY_NAME = "telemetry.json"
@@ -78,10 +80,7 @@ class CheckpointStore:
                     )
             return True
         record = {"version": MANIFEST_VERSION, **manifest}
-        tmp = self.manifest_path.with_name(MANIFEST_NAME + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as out:
-            json.dump(record, out, indent=2)
-        tmp.replace(self.manifest_path)
+        integrity.atomic_write_json(self.manifest_path, record)
         return False
 
     # ------------------------------------------------------------------
@@ -114,11 +113,28 @@ class CheckpointStore:
         return path
 
     def load(self, index: int) -> PatternSet:
-        """Load one unit's checkpointed result (KeyError if absent)."""
+        """Load one unit's checkpointed result (KeyError if absent).
+
+        A checkpoint whose bytes fail integrity verification raises
+        :class:`~repro.resilience.errors.ArtifactCorrupt` (the file is
+        quarantined to ``<name>.corrupt/`` first); the runtime treats
+        that as "not checkpointed" and re-mines the unit.
+        """
         path = self.unit_path(index)
         if not path.exists():
             raise KeyError(index)
-        patterns, meta = read_patterns(path)
+        try:
+            patterns, meta = read_patterns(path)
+        except ArtifactCorrupt:
+            raise
+        except ValueError as exc:
+            # Structural corruption without a checksum (legacy file or
+            # footer cut off with the tail): same quarantine discipline.
+            corrupt = ArtifactCorrupt(
+                f"checkpoint {path} is corrupt: {exc}", path=path
+            )
+            corrupt.quarantined = integrity.quarantine(path)
+            raise corrupt from exc
         stored = meta.get("unit")
         if stored is not None and stored != index:
             raise CheckpointMismatch(

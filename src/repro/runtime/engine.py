@@ -36,9 +36,18 @@ from typing import Callable
 from ..graph.database import GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
 from ..mining.base import Pattern, PatternSet
+from ..resilience import faults
+from ..resilience.errors import ArtifactCorrupt
 from .checkpoint import CheckpointStore
 from .config import RuntimeConfig
 from .telemetry import AttemptRecord, RunTelemetry, UnitRecord
+
+SITE_WORKER_START = faults.register_site(
+    "runtime.worker_start", "spawning a unit-mining worker process"
+)
+SITE_FALLBACK = faults.register_site(
+    "runtime.fallback", "in-process serial fallback miner call"
+)
 
 Worker = Callable[[object, int], object]
 Decoder = Callable[[object], PatternSet]
@@ -192,10 +201,25 @@ class MiningRuntime:
         records: dict[int, UnitRecord] = {}
 
         fresh: list[UnitTask] = []
+        corrupt_checkpoints: dict[int, AttemptRecord] = {}
         for task in tasks:
             if checkpoint is not None and checkpoint.has(task.index):
                 t0 = time.perf_counter()
-                patterns = checkpoint.load(task.index)
+                try:
+                    patterns = checkpoint.load(task.index)
+                except ArtifactCorrupt as exc:
+                    # Bad bytes on disk: the store already quarantined
+                    # the file; fall back to re-mining this unit and
+                    # keep the detection in the telemetry record.
+                    corrupt_checkpoints[task.index] = AttemptRecord(
+                        attempt=0,
+                        outcome="checkpoint-corrupt",
+                        wall_time=time.perf_counter() - t0,
+                        pid=os.getpid(),
+                        error=str(exc),
+                    )
+                    fresh.append(task)
+                    continue
                 elapsed = time.perf_counter() - t0
                 results[task.index] = patterns
                 records[task.index] = UnitRecord(
@@ -231,6 +255,9 @@ class MiningRuntime:
                 ):
                     results[task.index] = patterns
                     records[task.index] = record
+                    seen_corrupt = corrupt_checkpoints.get(task.index)
+                    if seen_corrupt is not None:
+                        record.attempts.insert(0, seen_corrupt)
 
         telemetry = RunTelemetry(
             units=[records[task.index] for task in tasks],
@@ -279,6 +306,7 @@ class MiningRuntime:
         elif config.fallback == "serial" and task.fallback is not None:
             t0 = time.perf_counter()
             try:
+                faults.fire(SITE_FALLBACK, unit=task.index)
                 patterns = task.fallback()
             except Exception as exc:  # noqa: BLE001 - recorded, then failed
                 attempts.append(
@@ -329,6 +357,21 @@ class MiningRuntime:
         """Run one attempt in a fresh worker process."""
         config = self.config
         start = time.perf_counter()
+        try:
+            faults.fire(
+                SITE_WORKER_START, unit=task.index, attempt=attempt
+            )
+        except Exception as exc:  # noqa: BLE001 - a retryable attempt
+            return (
+                AttemptRecord(
+                    attempt=attempt,
+                    outcome="error",
+                    wall_time=time.perf_counter() - start,
+                    pid=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                None,
+            )
         ctx = multiprocessing.get_context(config.start_method)
         recv, send = ctx.Pipe(duplex=False)
         proc = ctx.Process(

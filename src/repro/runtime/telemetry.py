@@ -16,6 +16,8 @@ Outcome vocabulary (``AttemptRecord.outcome``):
 ``fallback-serial`` in-process serial fallback mined the unit
 ``fallback-error``  even the serial fallback raised
 ``checkpoint``      unit result loaded from a checkpoint, nothing ran
+``checkpoint-corrupt`` a checkpoint failed integrity verification; it
+                    was quarantined and the unit re-mined
 
 Unit status (``UnitRecord.status``): ``ok`` (a worker attempt succeeded),
 ``degraded`` (serial fallback), ``checkpoint`` (resumed), ``failed``.
@@ -163,11 +165,10 @@ class RunTelemetry:
         )
 
     def save(self, path: str | Path) -> None:
-        path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as out:
-            json.dump(self.to_dict(), out, indent=2)
-        tmp.replace(path)
+        """Atomically (fsync + rename) persist the telemetry JSON."""
+        from ..resilience import integrity
+
+        integrity.atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str | Path) -> "RunTelemetry":

@@ -38,6 +38,8 @@ from ..graph.database import GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
 from ..mining.base import Pattern, PatternKey, PatternSet
 from ..mining.store import read_patterns, save_patterns
+from ..resilience import integrity
+from ..resilience.errors import ArtifactCorrupt
 from .index import FragmentIndex
 
 MANIFEST_NAME = "manifest.json"
@@ -181,36 +183,76 @@ class PatternCatalog:
             "patterns": len(patterns),
             "published_at": time.time(),
         }
-        manifest_path = self.path / MANIFEST_NAME
-        tmp = manifest_path.with_name(MANIFEST_NAME + ".tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as out:
-                json.dump(manifest, out, indent=2)
-            tmp.replace(manifest_path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        integrity.atomic_write_json(self.path / MANIFEST_NAME, manifest)
         return CatalogSnapshot(version, patterns, index, meta)
 
-    def load(self) -> CatalogSnapshot:
+    def _load_version(
+        self, version: int, snapshot_name: str, expected: int | None
+    ) -> CatalogSnapshot:
+        """Load one snapshot directory, validating the pattern count."""
+        snapshot_dir = self.path / snapshot_name
+        patterns, meta = read_patterns(snapshot_dir / PATTERNS_NAME)
+        index = FragmentIndex.load(snapshot_dir / INDEX_NAME)
+        if expected not in (None, len(patterns)):
+            raise ValueError(
+                f"snapshot {snapshot_name} holds {len(patterns)} "
+                f"patterns, manifest says {expected}"
+            )
+        return CatalogSnapshot(version, patterns, index, meta)
+
+    def load(self, fallback: bool = True) -> CatalogSnapshot:
         """Load the currently published snapshot.
 
         Raises :class:`FileNotFoundError` on an empty catalog and
         :class:`ValueError` on a manifest/snapshot mismatch.
+
+        When the current snapshot's bytes are corrupt (checksum miss,
+        torn file), the bad artifact has already been quarantined to
+        ``<name>.corrupt/`` by the loader; with ``fallback=True`` the
+        catalog then walks *earlier* versions on disk newest-first,
+        serves the first one that verifies, and repairs the manifest to
+        point at it — the paper's exactness guarantee degrades to an
+        older complete result set, never to silently wrong bytes.  If no
+        version loads, the original corruption error propagates.
         """
         manifest = self.manifest()
         if manifest is None:
             raise FileNotFoundError(
                 f"no snapshot published in catalog {self.path}"
             )
-        snapshot_dir = self.path / manifest["snapshot"]
-        patterns, meta = read_patterns(snapshot_dir / PATTERNS_NAME)
-        index = FragmentIndex.load(snapshot_dir / INDEX_NAME)
-        if manifest.get("patterns") not in (None, len(patterns)):
-            raise ValueError(
-                f"snapshot {manifest['snapshot']} holds {len(patterns)} "
-                f"patterns, manifest says {manifest['patterns']}"
+        current = manifest["version"]
+        try:
+            return self._load_version(
+                current, manifest["snapshot"], manifest.get("patterns")
             )
-        return CatalogSnapshot(manifest["version"], patterns, index, meta)
+        except (ArtifactCorrupt, FileNotFoundError, ValueError) as exc:
+            if not fallback:
+                raise
+            original = exc
+        for version in reversed(self.versions_on_disk()):
+            if version >= current:
+                continue
+            try:
+                snapshot = self._load_version(
+                    version, f"snapshot-{version:06d}", None
+                )
+            except (ArtifactCorrupt, FileNotFoundError, ValueError):
+                continue
+            # Serve the recovered version and repair the manifest so
+            # pollers (hot reload) agree with what is actually served.
+            integrity.atomic_write_json(
+                self.path / MANIFEST_NAME,
+                {
+                    "format": CATALOG_FORMAT_VERSION,
+                    "version": version,
+                    "snapshot": f"snapshot-{version:06d}",
+                    "patterns": len(snapshot.patterns),
+                    "published_at": time.time(),
+                    "recovered_from": current,
+                },
+            )
+            return snapshot
+        raise original
 
     # ------------------------------------------------------------------
     # Maintenance

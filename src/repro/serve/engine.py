@@ -47,6 +47,7 @@ from ..graph.database import GraphDatabase
 from ..graph.isomorphism import subgraph_exists
 from ..graph.labeled_graph import LabeledGraph
 from ..mining.base import Pattern, PatternSet
+from ..resilience.health import Deadline
 from .catalog import CatalogSnapshot, PatternEntry
 from .index import graph_fragments
 
@@ -220,12 +221,19 @@ class QueryEngine:
     # match: pattern -> supporting database graphs
     # ------------------------------------------------------------------
     def match(
-        self, pattern: LabeledGraph, induced: bool = False
+        self,
+        pattern: LabeledGraph,
+        induced: bool = False,
+        deadline: Deadline | None = None,
     ) -> MatchAnswer:
         """The database gids containing ``pattern``.
 
         Identical to the supporting-gid set of :func:`repro.query.match`
-        (existence only; occurrences are not enumerated).
+        (existence only; occurrences are not enumerated).  ``deadline``
+        (propagated from the service's request edge) is checked between
+        per-graph searches; expiry raises a typed
+        :class:`~repro.resilience.errors.DeadlineExceeded` instead of
+        letting one pathological query hold a worker indefinitely.
         """
         start = time.perf_counter()
         stats = QueryStats(kind="match", universe=len(self.database))
@@ -260,6 +268,8 @@ class QueryEngine:
 
         supporting = set()
         for gid in sorted(candidates):
+            if deadline is not None:
+                deadline.check("match query")
             graph = self.database[gid]
             if self._cached_verdict(
                 key, graph, pattern, induced, stats, use_cache=accel
@@ -319,7 +329,10 @@ class QueryEngine:
     # contains: graph -> catalog patterns present in it
     # ------------------------------------------------------------------
     def contains(
-        self, graph: LabeledGraph, induced: bool = False
+        self,
+        graph: LabeledGraph,
+        induced: bool = False,
+        deadline: Deadline | None = None,
     ) -> ContainsAnswer:
         """The catalog pids whose pattern embeds in ``graph``."""
         start = time.perf_counter()
@@ -338,7 +351,9 @@ class QueryEngine:
                     self.totals.record(stats)
                 return ContainsAnswer(pids=cached, stats=stats)
 
-        pids = self._graph_hits(graph, induced, stats, first_only=False)
+        pids = self._graph_hits(
+            graph, induced, stats, first_only=False, deadline=deadline
+        )
         answer = tuple(pids)
         if lru_key is not None:
             self._lru_put(lru_key, answer)
@@ -353,6 +368,7 @@ class QueryEngine:
         induced: bool,
         stats: QueryStats,
         first_only: bool,
+        deadline: Deadline | None = None,
     ) -> list[int]:
         """Pids embedding in ``graph``; at most one when ``first_only``."""
         accel = self._accel_on()
@@ -366,6 +382,8 @@ class QueryEngine:
         stats.candidates += len(candidates)
         hits = []
         for pid in candidates:
+            if deadline is not None:
+                deadline.check("contains query")
             entry = entries[pid]
             if self._cached_verdict(
                 entry.key, graph, entry.graph, induced, stats,
@@ -421,6 +439,23 @@ class QueryEngine:
         if not len(self.database):
             return 0.0, covered
         return len(covered) / len(self.database), covered
+
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> dict:
+        """Drop the LRU and support caches (memory-watermark ballast).
+
+        Returns what was freed; answers stay byte-identical — caches are
+        pure memoization — so this is the safe first stage of degrading
+        under memory pressure.
+        """
+        with self._lock:
+            dropped = {
+                "lru_entries": len(self._lru),
+                "support_cache_entries": self.support_cache.entries(),
+            }
+            self._lru.clear()
+            self.support_cache.clear()
+        return dropped
 
     # ------------------------------------------------------------------
     def stats_dict(self) -> dict:

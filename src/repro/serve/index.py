@@ -305,20 +305,32 @@ class FragmentIndex:
         return cls(pattern_fragments, graph_sets, graph_versions)
 
     def save(self, path: str | Path) -> None:
-        """Atomically write the index as JSON (tmp file + rename)."""
-        path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as out:
-                json.dump(self.to_dict(), out)
-            tmp.replace(path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        """Atomically write the index as checksummed JSON."""
+        from ..resilience import integrity
+
+        integrity.write_checked(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "FragmentIndex":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+        """Load and integrity-verify an index file.
+
+        Checksum misses and structurally-bad JSON both quarantine the
+        file and raise :class:`~repro.resilience.errors.ArtifactCorrupt`.
+        """
+        from ..resilience import integrity
+        from ..resilience.errors import ArtifactCorrupt
+
+        path = Path(path)
+        text = integrity.read_checked(path)
+        try:
+            return cls.from_dict(json.loads(text))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            corrupt = ArtifactCorrupt(
+                f"index {path} is corrupt: {type(exc).__name__}: {exc}",
+                path=path,
+            )
+            corrupt.quarantined = integrity.quarantine(path)
+            raise corrupt from exc
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FragmentIndex):

@@ -50,8 +50,18 @@ from urllib.parse import parse_qs, urlparse
 
 from ..graph.database import GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
+from ..resilience import faults
+from ..resilience.errors import CircuitOpen, DeadlineExceeded
+from ..resilience.health import CircuitBreaker, Deadline, MemoryWatermark
 from .catalog import PatternCatalog
 from .engine import QueryEngine
+
+SITE_REQUEST = faults.register_site(
+    "serve.request", "HTTP request handling in PatternService"
+)
+SITE_RELOAD = faults.register_site(
+    "serve.reload", "catalog snapshot reload in PatternService"
+)
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +226,13 @@ class PatternService:
         queue_size: int = 64,
         reload_interval: float | None = None,
         engine_factory=None,
+        breaker_failures: int = 3,
+        breaker_reset: float = 5.0,
+        breaker_clock=time.monotonic,
+        default_deadline: float | None = None,
+        memory_soft_bytes: int | None = None,
+        memory_hard_bytes: int | None = None,
+        memory_usage_fn=None,
     ) -> None:
         self.catalog = catalog
         self.database = database
@@ -233,12 +250,34 @@ class PatternService:
         self._reload_interval = reload_interval
         self._reload_stop = threading.Event()
         self._reload_thread: threading.Thread | None = None
+        self.default_deadline = default_deadline
+        # Per-dependency circuit breakers: catalog reloads and the query
+        # engine fail (and recover) independently.
+        self.breakers = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=breaker_failures,
+                reset_timeout=breaker_reset,
+                clock=breaker_clock,
+            )
+            for name in ("catalog", "query")
+        }
+        watermark_args = {}
+        if memory_usage_fn is not None:
+            watermark_args["usage_fn"] = memory_usage_fn
+        self.watermark = MemoryWatermark(
+            memory_soft_bytes, memory_hard_bytes, **watermark_args
+        )
         self._stats_lock = threading.Lock()
         self._stats = {
             "requests": 0,
             "errors": 0,
             "rejected": 0,
             "reloads": 0,
+            "deadline_exceeded": 0,
+            "circuit_rejections": 0,
+            "cache_drops": 0,
+            "shed_memory": 0,
             "started_at": time.time(),
         }
 
@@ -318,25 +357,41 @@ class PatternService:
         optionally replaces the served database in the same swap (an
         incremental re-mine usually publishes patterns for an updated
         database; swapping both together keeps them consistent).
+
+        Runs through the ``catalog`` circuit breaker: repeated reload
+        failures (corrupt manifest, unreadable snapshot) open it, /reload
+        then fails fast with :class:`~repro.resilience.errors.CircuitOpen`
+        until a half-open probe succeeds — the service keeps answering
+        queries from the snapshot it already holds throughout.
         """
-        with self._engine_lock:
-            current = self._engine.snapshot.version
-            published = self.catalog.current_version()
-            if published is None or (
-                published == current and database is None
-            ):
-                return False
-            if database is not None:
-                self.database = database
-            snapshot = (
-                self._engine.snapshot
-                if published == current
-                else self.catalog.load()
-            )
-            self._engine = self._engine_factory(snapshot, self.database)
-            with self._stats_lock:
-                self._stats["reloads"] += 1
-            return True
+        breaker = self.breakers["catalog"]
+        if not breaker.allow():
+            raise CircuitOpen("catalog")
+        try:
+            with self._engine_lock:
+                faults.fire(SITE_RELOAD)
+                current = self._engine.snapshot.version
+                published = self.catalog.current_version()
+                if published is None or (
+                    published == current and database is None
+                ):
+                    breaker.record_success()
+                    return False
+                if database is not None:
+                    self.database = database
+                snapshot = (
+                    self._engine.snapshot
+                    if published == current
+                    else self.catalog.load()
+                )
+                self._engine = self._engine_factory(snapshot, self.database)
+                with self._stats_lock:
+                    self._stats["reloads"] += 1
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return True
 
     def _reload_loop(self) -> None:
         while not self._reload_stop.wait(self._reload_interval):
@@ -356,22 +411,93 @@ class PatternService:
         digest["uptime"] = round(time.time() - digest.pop("started_at"), 3)
         return digest
 
+    def _guard_memory(self) -> None:
+        """Degrade in stages under memory pressure (see DESIGN.md §10).
+
+        Soft watermark: drop the engine's LRU/support caches — pure
+        memoization, answers stay identical.  Hard watermark: shed the
+        request with 503 before allocating query state.
+        """
+        level = self.watermark.level()
+        if level == MemoryWatermark.OK:
+            return
+        if level == MemoryWatermark.SOFT:
+            self._engine.clear_caches()
+            with self._stats_lock:
+                self._stats["cache_drops"] += 1
+            return
+        with self._stats_lock:
+            self._stats["shed_memory"] += 1
+        raise ServiceError(
+            503, "service over its memory watermark, retry later"
+        )
+
+    def _request_deadline(self, payload: dict) -> Deadline | None:
+        """The request's deadline: explicit ``deadline_ms`` or default."""
+        millis = payload.get("deadline_ms")
+        if millis is None:
+            if self.default_deadline is None:
+                return None
+            return Deadline.after(self.default_deadline)
+        try:
+            seconds = float(millis) / 1000.0
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, f"deadline_ms must be a number, got {millis!r}"
+            ) from None
+        if seconds <= 0:
+            raise ServiceError(400, "deadline_ms must be positive")
+        return Deadline.after(seconds)
+
     def execute(self, kind: str, payload: dict) -> dict:
         """Run one query on the current engine (single-flighted).
 
         The engine reference is captured once; a hot reload during the
         computation does not affect this query — its response reports the
-        snapshot version it was computed against.
+        snapshot version it was computed against.  The query circuit
+        breaker fails fast while the engine is deemed broken; the
+        request's deadline propagates into the engine's search loops.
         """
         engine = self._engine
         if kind == "match":
-            pattern = decode_graph(payload.get("pattern"))
-            induced = bool(payload.get("induced", False))
-            flight_key = self._flight_key(engine, "match", pattern, induced)
-            answer = self._flights.execute(
-                flight_key,
-                lambda: engine.match(pattern, induced=induced),
-            )
+            subject = decode_graph(payload.get("pattern"))
+        elif kind == "contains":
+            subject = decode_graph(payload.get("graph"))
+        else:
+            raise ServiceError(404, f"unknown query kind {kind!r}")
+        induced = bool(payload.get("induced", False))
+        deadline = self._request_deadline(payload)
+        self._guard_memory()
+
+        breaker = self.breakers["query"]
+        if not breaker.allow():
+            with self._stats_lock:
+                self._stats["circuit_rejections"] += 1
+            raise ServiceError(503, "query circuit open, retry later")
+        flight_key = self._flight_key(engine, kind, subject, induced)
+        run = (
+            (lambda: engine.match(subject, induced=induced,
+                                  deadline=deadline))
+            if kind == "match"
+            else (lambda: engine.contains(subject, induced=induced,
+                                          deadline=deadline))
+        )
+        try:
+            answer = self._flights.execute(flight_key, run)
+        except DeadlineExceeded:
+            # The caller's budget ran out; the engine is healthy.
+            with self._stats_lock:
+                self._stats["deadline_exceeded"] += 1
+            breaker.record_success()
+            raise
+        except ServiceError:
+            raise
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+
+        if kind == "match":
             return {
                 "version": engine.snapshot.version,
                 "support": answer.support,
@@ -379,32 +505,55 @@ class PatternService:
                 "lru_hit": answer.stats.lru_hit,
                 "searches": answer.stats.searches,
             }
-        if kind == "contains":
-            graph = decode_graph(payload.get("graph"))
-            induced = bool(payload.get("induced", False))
-            flight_key = self._flight_key(
-                engine, "contains", graph, induced
+        entries = engine.snapshot.entries
+        return {
+            "version": engine.snapshot.version,
+            "pids": list(answer.pids),
+            "patterns": [
+                {
+                    "pid": pid,
+                    "support": entries[pid].support,
+                    "size": entries[pid].size,
+                }
+                for pid in answer.pids
+            ],
+            "lru_hit": answer.stats.lru_hit,
+            "searches": answer.stats.searches,
+        }
+
+    # ------------------------------------------------------------------
+    # Health / readiness
+    # ------------------------------------------------------------------
+    def ready(self) -> bool:
+        """Ready = engine loaded, no open circuit, below hard watermark."""
+        return (
+            self._engine is not None
+            and all(
+                b.state != "open" for b in self.breakers.values()
             )
-            answer = self._flights.execute(
-                flight_key,
-                lambda: engine.contains(graph, induced=induced),
-            )
-            entries = engine.snapshot.entries
-            return {
-                "version": engine.snapshot.version,
-                "pids": list(answer.pids),
-                "patterns": [
-                    {
-                        "pid": pid,
-                        "support": entries[pid].support,
-                        "size": entries[pid].size,
-                    }
-                    for pid in answer.pids
-                ],
-                "lru_hit": answer.stats.lru_hit,
-                "searches": answer.stats.searches,
-            }
-        raise ServiceError(404, f"unknown query kind {kind!r}")
+            and self.watermark.level() != MemoryWatermark.HARD
+        )
+
+    def health_payload(self) -> tuple[int, dict]:
+        """(status_code, body) for ``/healthz`` and ``/readyz``.
+
+        ``status`` flips from ``ok`` to ``unready`` whenever a breaker
+        is open or memory crossed the hard watermark; it recovers as
+        soon as a half-open probe closes the breaker again.
+        """
+        ready = self.ready()
+        body = {
+            "status": "ok" if ready else "unready",
+            "ready": ready,
+            "version": self._engine.snapshot.version,
+            "patterns": len(self._engine.snapshot.entries),
+            "circuits": {
+                name: breaker.snapshot()
+                for name, breaker in self.breakers.items()
+            },
+            "memory": self.watermark.snapshot(),
+        }
+        return (200 if ready else 503), body
 
     @staticmethod
     def _flight_key(
@@ -497,16 +646,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         service = self.service
         parsed = urlparse(self.path)
         try:
-            if parsed.path == "/healthz":
+            faults.fire(SITE_REQUEST, path=parsed.path, method="GET")
+            if parsed.path in ("/healthz", "/readyz"):
                 self._count()
-                self._send_json(
-                    200,
-                    {
-                        "status": "ok",
-                        "version": service.engine.snapshot.version,
-                        "patterns": len(service.engine.snapshot.entries),
-                    },
-                )
+                status, body = service.health_payload()
+                self._send_json(status, body)
             elif parsed.path == "/stats":
                 self._count()
                 self._send_json(
@@ -541,6 +685,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         service = self.service
         parsed = urlparse(self.path)
         try:
+            faults.fire(SITE_REQUEST, path=parsed.path, method="POST")
             if parsed.path == "/reload":
                 self._count()
                 reloaded = service.reload()
@@ -575,6 +720,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except ServiceError as exc:
             self._count(error=True)
             self._send_json(exc.status, {"error": str(exc)})
+        except CircuitOpen as exc:
+            self._count(error=True)
+            self._send_json(503, {"error": str(exc)})
+        except DeadlineExceeded as exc:
+            self._count(error=True)
+            self._send_json(504, {"error": str(exc)})
         except ValueError as exc:
             self._count(error=True)
             self._send_json(400, {"error": str(exc)})

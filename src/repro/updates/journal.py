@@ -13,12 +13,22 @@ so that experiments are replayable.  One JSON object per line::
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import IO, Iterator
 
+from ..resilience import faults, integrity
 from .model import AddEdge, AddVertex, RelabelEdge, RelabelVertex, Update
 
 JOURNAL_VERSION = 1
+
+SITE_REPLAY = faults.register_site(
+    "journal.replay", "applying journaled update batches to a database"
+)
+
+
+class TornJournalWarning(UserWarning):
+    """A journal ended mid-record; the torn tail was dropped on load."""
 
 _OP_NAMES = {
     RelabelVertex: "relabel_vertex",
@@ -87,13 +97,29 @@ class UpdateJournal:
             )
 
     @classmethod
-    def load(cls, lines: Iterator[str] | IO[str]) -> "UpdateJournal":
-        """Parse a journal written by :meth:`dump` (validates structure)."""
-        iterator = iter(lines)
+    def load(
+        cls, lines: Iterator[str] | IO[str], *, torn_tail: str = "truncate"
+    ) -> "UpdateJournal":
+        """Parse a journal written by :meth:`dump` (validates structure).
+
+        An append-only journal's one legitimate failure mode is a crash
+        mid-append: the *final* record is torn (unparseable JSON).  With
+        ``torn_tail="truncate"`` (the default) that tail is dropped with
+        a :class:`TornJournalWarning` — replay resumes from the last
+        complete batch, exactly the state the crashed writer had durably
+        reached.  ``torn_tail="raise"`` restores the strict behaviour.
+        Corruption anywhere *before* the final record is never
+        tolerated: that is bit rot, not a torn append, and raises.
+        """
+        if torn_tail not in ("truncate", "raise"):
+            raise ValueError(f"torn_tail must be truncate|raise: {torn_tail}")
+        content = [line for line in lines if line.strip()]
+        if not content:
+            raise ValueError("empty journal (missing header)")
         try:
-            header = json.loads(next(iterator))
-        except StopIteration:
-            raise ValueError("empty journal (missing header)") from None
+            header = json.loads(content[0])
+        except json.JSONDecodeError:
+            raise ValueError("not a journal (first line is no header)") from None
         if header.get("kind") != "header":
             raise ValueError("not a journal (first line is no header)")
         if header.get("version") != JOURNAL_VERSION:
@@ -107,11 +133,22 @@ class UpdateJournal:
                 if k not in ("kind", "version")
             }
         )
-        for line in iterator:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
+        last = len(content) - 1
+        for position, line in enumerate(content[1:], start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if torn_tail == "truncate" and position == last:
+                    warnings.warn(
+                        f"journal ends in a torn record "
+                        f"({len(line)} bytes dropped): {exc}",
+                        TornJournalWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise ValueError(
+                    f"corrupt journal record at line {position + 1}: {exc}"
+                ) from None
             if record.get("kind") != "batch":
                 raise ValueError(
                     f"unexpected record kind {record.get('kind')!r}"
@@ -126,16 +163,25 @@ class UpdateJournal:
             )
         return journal
 
-    def save(self, path: str | Path) -> None:
-        """Write the journal to ``path``."""
-        with open(path, "w", encoding="utf-8") as out:
-            self.dump(out)
+    def save(self, path: str | Path, *, atomic: bool = True) -> None:
+        """Write the journal to ``path`` (atomic + checksummed by default)."""
+        import io as _io
+
+        buffer = _io.StringIO()
+        self.dump(buffer)
+        if atomic:
+            integrity.write_checked(path, buffer.getvalue())
+        else:
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(buffer.getvalue())
 
     @classmethod
-    def read(cls, path: str | Path) -> "UpdateJournal":
-        """Read a journal from ``path``."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.load(handle)
+    def read(
+        cls, path: str | Path, *, torn_tail: str = "truncate"
+    ) -> "UpdateJournal":
+        """Read (and integrity-verify) a journal from ``path``."""
+        text = integrity.read_checked(path)
+        return cls.load(iter(text.splitlines()), torn_tail=torn_tail)
 
 
 def replay(journal: UpdateJournal, database) -> dict[int, set[int]]:
@@ -147,7 +193,8 @@ def replay(journal: UpdateJournal, database) -> dict[int, set[int]]:
     from .model import apply_updates
 
     touched: dict[int, set[int]] = {}
-    for batch in journal.batches:
+    for index, batch in enumerate(journal.batches):
+        faults.fire(SITE_REPLAY, batch=index)
         for gid, vertices in apply_updates(database, batch).items():
             touched.setdefault(gid, set()).update(vertices)
     return touched

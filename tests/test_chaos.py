@@ -1,0 +1,332 @@
+"""Chaos suite: every registered fault site, injected, must end well.
+
+"Well" means exactly one of:
+
+* **recovered** — the pipeline absorbs the fault (retry, fallback,
+  re-mine, old snapshot) and its observable result is identical to the
+  fault-free baseline;
+* **typed failure** — a documented exception type propagates (mapping to
+  a nonzero CLI exit code via
+  :func:`repro.resilience.errors.exit_code_for`), or an HTTP error
+  status with an ``error`` body is returned.
+
+What is *never* acceptable is silent divergence: a completed run whose
+output differs from the baseline.  Every scenario asserts that
+explicitly.
+
+The seed is taken from ``REPRO_CHAOS_SEED`` (CI runs a small matrix);
+the same seed replays the same corruption positions.
+"""
+
+import io
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graph import io as graph_io
+from repro.graph.io import GraphParseError
+from repro.mining.gspan import GSpanMiner
+from repro.mining.store import dump_patterns, read_patterns, save_patterns
+from repro.partition.dbpartition import db_partition
+from repro.core.partminer import resolve_unit_threshold
+from repro.resilience import faults
+from repro.resilience.errors import (
+    ArtifactCorrupt,
+    ResilienceError,
+    exit_code_for,
+)
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.runtime import RuntimeConfig, run_unit_mining
+from repro.runtime.engine import UnitMiningError
+from repro.serve.catalog import PatternCatalog
+from repro.serve.service import PatternService
+from repro.updates.generator import UpdateGenerator
+from repro.updates.journal import UpdateJournal, replay
+from repro.updates.tracker import hot_vertex_assignment
+
+from .conftest import random_database
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: Exceptions the chaos contract accepts as a "typed failure": the
+#: injected fault itself, any resilience-layer classification of it,
+#: strict-parse errors, OS-level faults we injected, and the runtime's
+#: all-retries-exhausted error.
+TYPED_FAILURES = (
+    InjectedFault,
+    ResilienceError,
+    GraphParseError,
+    OSError,
+    UnitMiningError,
+)
+
+
+def pattern_text(patterns):
+    buffer = io.StringIO()
+    dump_patterns(patterns, buffer)
+    return buffer.getvalue()
+
+
+def http_json(url, payload=None, timeout=10):
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="GET" if payload is None else "POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+# ----------------------------------------------------------------------
+# Scenarios: one per fault site.  Each returns None (all assertions are
+# internal) and must hold for exc-injection; byte sites also run the
+# flip/truncate corruptions.
+# ----------------------------------------------------------------------
+def scenario_artifact_write(tmp_path, plan):
+    db = random_database(seed=3100 + SEED, num_graphs=6, n=5)
+    patterns = GSpanMiner().mine(db, 3)
+    baseline = pattern_text(patterns)
+    path = tmp_path / "patterns.jsonl"
+
+    failed = False
+    with plan.active():
+        try:
+            save_patterns(patterns, path, atomic=True)
+        except TYPED_FAILURES:
+            failed = True
+    if failed:
+        # Crashed write: the path holds nothing (or old bytes) — never
+        # a torn file that parses into different patterns.
+        assert not path.exists()
+    else:
+        # The write "succeeded" but the plan may have corrupted the
+        # bytes in flight: the read side must either return exactly the
+        # original patterns or detect the damage.
+        try:
+            loaded, _ = read_patterns(path)
+        except ArtifactCorrupt as exc:
+            assert exit_code_for(exc) == 3
+        else:
+            assert pattern_text(loaded) == baseline
+    # Recovery: a clean rewrite always round-trips.
+    save_patterns(patterns, path, atomic=True)
+    loaded, _ = read_patterns(path)
+    assert pattern_text(loaded) == baseline
+
+
+def scenario_artifact_read(tmp_path, plan):
+    db = random_database(seed=3200 + SEED, num_graphs=6, n=5)
+    patterns = GSpanMiner().mine(db, 3)
+    baseline = pattern_text(patterns)
+    path = tmp_path / "patterns.jsonl"
+    save_patterns(patterns, path, atomic=True)
+
+    with plan.active():
+        try:
+            loaded, _ = read_patterns(path)
+        except ArtifactCorrupt as exc:
+            assert exit_code_for(exc) == 3
+        except TYPED_FAILURES:
+            pass
+        else:
+            assert pattern_text(loaded) == baseline
+    # Recovery: rewrite (the detected-corrupt path was quarantined) and
+    # re-read clean.
+    save_patterns(patterns, path, atomic=True)
+    loaded, _ = read_patterns(path)
+    assert pattern_text(loaded) == baseline
+
+
+def scenario_graph_parse(tmp_path, plan):
+    db = random_database(seed=3300 + SEED, num_graphs=5, n=5)
+    path = tmp_path / "db.tve"
+    graph_io.write_database(db, path)
+    baseline = graph_io.dumps(graph_io.read_database(path))
+
+    with plan.active():
+        try:
+            loaded = graph_io.read_database(path)
+        except TYPED_FAILURES as exc:
+            assert exit_code_for(exc) != 0
+        else:
+            assert graph_io.dumps(loaded) == baseline
+    assert graph_io.dumps(graph_io.read_database(path)) == baseline
+
+
+def scenario_runtime_worker_start(tmp_path, plan):
+    db = random_database(seed=3400 + SEED, num_graphs=8, n=5, extra_edges=1)
+    units = db_partition(db, 2).units()
+    thresholds = [resolve_unit_threshold(u, 3, "exact") for u in units]
+    baseline = run_unit_mining(units, thresholds)
+
+    with plan.active():
+        try:
+            result = run_unit_mining(
+                units, thresholds, config=RuntimeConfig(max_workers=1)
+            )
+        except TYPED_FAILURES:
+            return  # fail-fast is acceptable; divergence is not
+    # A transient worker fault retries (or falls back) into the exact
+    # baseline patterns.
+    for got, want in zip(result.unit_results, baseline.unit_results):
+        assert pattern_text(got) == pattern_text(want)
+
+
+def scenario_runtime_fallback(tmp_path, plan):
+    # Force every worker attempt to die so the serial fallback is what
+    # the armed fault hits.
+    plan.inject("runtime.worker_start", OSError("worker lost"), times=100)
+    db = random_database(seed=3500 + SEED, num_graphs=8, n=5, extra_edges=1)
+    units = db_partition(db, 2).units()
+    thresholds = [resolve_unit_threshold(u, 3, "exact") for u in units]
+    baseline = run_unit_mining(units, thresholds)
+
+    with plan.active():
+        try:
+            result = run_unit_mining(
+                units,
+                thresholds,
+                config=RuntimeConfig(max_workers=1, max_retries=0),
+            )
+        except TYPED_FAILURES:
+            return
+    for got, want in zip(result.unit_results, baseline.unit_results):
+        assert pattern_text(got) == pattern_text(want)
+
+
+def scenario_journal_replay(tmp_path, plan):
+    db = random_database(seed=3600 + SEED, num_graphs=6, n=5)
+    ufreq = hot_vertex_assignment(db, hot_fraction=0.3, seed=SEED)
+    generator = UpdateGenerator(
+        num_vertex_labels=4, num_edge_labels=3, seed=SEED
+    )
+    journal = UpdateJournal()
+    journal.append(generator.generate(db, ufreq, 0.5, 1, "relabel"))
+
+    def fresh_db():
+        return random_database(seed=3600 + SEED, num_graphs=6, n=5)
+
+    reference = fresh_db()
+    replay(journal, reference)
+    baseline = graph_io.dumps(reference)
+
+    target = fresh_db()
+    with plan.active():
+        try:
+            replay(journal, target)
+        except TYPED_FAILURES:
+            # Recovery: replay the journal against a fresh copy.
+            target = fresh_db()
+            replay(journal, target)
+    assert graph_io.dumps(target) == baseline
+
+
+def scenario_cli_run(tmp_path, plan):
+    from repro.cli import main
+
+    db = random_database(seed=3700 + SEED, num_graphs=4, n=4)
+    path = tmp_path / "db.tve"
+    graph_io.write_database(db, path)
+
+    with plan.active():
+        try:
+            code = main(["stats", str(path)])
+        except TYPED_FAILURES:
+            return
+    assert code == 0
+
+
+def scenario_serve_request(tmp_path, plan):
+    catalog, db = _published(tmp_path)
+    with PatternService(catalog, db) as service:
+        url = service.base_url + "/healthz"
+        status, baseline = http_json(url)
+        assert status == 200
+        with plan.active():
+            status, body = http_json(url)
+            assert status == 200 or "error" in body
+        # The fault is spent: the service answers correctly again.
+        status, body = http_json(url)
+        assert status == 200
+        assert body["status"] == baseline["status"] == "ok"
+
+
+def scenario_serve_reload(tmp_path, plan):
+    catalog, db = _published(tmp_path)
+    with PatternService(catalog, db) as service:
+        patterns_url = service.base_url + "/patterns"
+        _, baseline = http_json(patterns_url)
+        with plan.active():
+            status, body = http_json(service.base_url + "/reload", {})
+            assert status == 200 or "error" in body
+        # Whatever the reload fault did, served answers are unchanged
+        # and exactly the published snapshot.
+        _, after = http_json(patterns_url)
+        assert after == baseline
+
+
+def _published(tmp_path):
+    db = random_database(seed=3800 + SEED, num_graphs=6, n=5)
+    patterns = GSpanMiner().mine(db, 3)
+    catalog = PatternCatalog(tmp_path / "catalog")
+    catalog.publish(patterns, database=db)
+    return catalog, db
+
+
+SCENARIOS = {
+    "artifact.write": scenario_artifact_write,
+    "artifact.read": scenario_artifact_read,
+    "graph.parse": scenario_graph_parse,
+    "runtime.worker_start": scenario_runtime_worker_start,
+    "runtime.fallback": scenario_runtime_fallback,
+    "journal.replay": scenario_journal_replay,
+    "cli.run": scenario_cli_run,
+    "serve.request": scenario_serve_request,
+    "serve.reload": scenario_serve_reload,
+}
+
+#: Sites whose hook passes bytes through ``mangle`` — they additionally
+#: run the corruption arms, not just the exception arm.
+BYTE_SITES = {"artifact.write", "artifact.read"}
+
+
+def test_every_registered_site_has_a_scenario():
+    """The acceptance gate: full site-registry coverage, enforced."""
+    assert set(SCENARIOS) == set(faults.registered_sites())
+
+
+@pytest.mark.parametrize("site", sorted(SCENARIOS))
+def test_injected_exception(site, tmp_path):
+    plan = FaultPlan(seed=SEED)
+    plan.inject(site, times=1)
+    SCENARIOS[site](tmp_path, plan)
+    assert any(f.site == site for f in plan.fired), (
+        f"scenario for {site} never reached its fault site"
+    )
+
+
+@pytest.mark.parametrize("corruption", ["flip", "truncate"])
+@pytest.mark.parametrize("site", sorted(BYTE_SITES))
+def test_injected_corruption(site, corruption, tmp_path):
+    plan = FaultPlan(seed=SEED)
+    plan.inject(site, corrupt=corruption, times=1)
+    SCENARIOS[site](tmp_path, plan)
+    assert any(
+        f.site == site and f.kind == "corrupt" for f in plan.fired
+    )
+
+
+def test_injected_os_errors(tmp_path):
+    """Same drill with a realistic I/O exception instead of the default."""
+    for site in ("artifact.write", "artifact.read"):
+        plan = FaultPlan(seed=SEED)
+        plan.inject(site, OSError(5, "Input/output error"), times=1)
+        SCENARIOS[site](tmp_path, plan)
+        assert plan.fired

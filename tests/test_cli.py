@@ -180,3 +180,80 @@ class TestErrorPaths:
         with pytest.raises(ValueError, match="unit_support"):
             main(["mine", str(database_file), "0.3",
                   "--unit-support", "bogus"])
+
+
+class TestExitCodes:
+    """The documented exit-code contract (see `repro --help`)."""
+
+    def test_corrupt_pattern_file_exits_3(self, database_file, tmp_path,
+                                          capsys):
+        bad = tmp_path / "patterns.jsonl"
+        bad.write_text("this is not a pattern store\n")
+        assert main(["match", str(bad), str(database_file)]) == 3
+        err = capsys.readouterr().err
+        assert "corrupt artifact" in err
+        assert err.count("\n") == 1  # one-line diagnostic
+        # The bad bytes were quarantined for post-mortem.
+        assert (tmp_path / "patterns.jsonl.corrupt").is_dir()
+
+    def test_parse_error_exits_4(self, tmp_path, capsys):
+        bad = tmp_path / "db.tve"
+        bad.write_text("t # 0\nv 0 1\ne 0 zero 1\n")
+        assert main(["stats", str(bad)]) == 4
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert f"{bad}:3" in err  # provenance: file and line
+
+    def test_on_parse_error_skip_recovers(self, tmp_path, capsys):
+        bad = tmp_path / "db.tve"
+        bad.write_text(
+            "t # 0\nv 0 1\ne 0 zero 1\nt # 1\nv 0 1\nv 1 1\ne 0 1 2\n"
+        )
+        assert main(["stats", str(bad), "--on-parse-error", "skip"]) == 0
+        captured = capsys.readouterr()
+        assert "1 skipped" in captured.err
+        assert "graphs:          1" in captured.out
+
+    def test_budget_exceeded_exits_5(self, capsys, monkeypatch):
+        from repro.resilience.errors import BudgetExceeded
+
+        import repro.cli as cli_module
+
+        def exhausted(args):
+            raise BudgetExceeded("mining budget spent")
+
+        parser = cli_module.build_parser()
+        args = parser.parse_args(["stats", "whatever"])
+        monkeypatch.setattr(args, "func", exhausted)
+        monkeypatch.setattr(
+            cli_module, "build_parser",
+            lambda: type("P", (), {
+                "parse_args": staticmethod(lambda argv=None: args)
+            })(),
+        )
+        assert cli_module.main(["stats", "whatever"]) == 5
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine"])  # missing required arguments
+        assert excinfo.value.code == 2
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "corrupt stored artifact" in out
+
+    def test_corrupted_checksummed_store_exits_3(self, database_file,
+                                                 tmp_path):
+        patterns = tmp_path / "p.jsonl"
+        assert main(["mine", str(database_file), "0.4",
+                     "--algorithm", "gspan",
+                     "--output", str(patterns)]) == 0
+        raw = bytearray(patterns.read_bytes())
+        raw[len(raw) // 3] ^= 0x10
+        patterns.write_bytes(bytes(raw))
+        assert main(["match", str(patterns), str(database_file)]) == 3

@@ -1,0 +1,160 @@
+"""Tests for strict t/v/e validation and lenient parse policies."""
+
+import pytest
+
+from repro.graph import io as graph_io
+from repro.graph.io import GraphParseError, ParseReport
+
+GOOD = """\
+t # 0
+v 0 1
+v 1 2
+e 0 1 5
+t # 1
+v 0 1
+"""
+
+# Graph 1 carries a malformed edge record; graphs 0 and 2 are fine.
+POISONED = """\
+t # 0
+v 0 1
+t # 1
+v 0 1
+v 1 2
+e 0 1
+t # 2
+v 0 3
+"""
+
+
+class TestStrictParsing:
+    def test_clean_input_parses(self):
+        db = graph_io.loads(GOOD)
+        assert len(db) == 2
+        assert db[0].num_edges == 1
+
+    def test_blank_lines_and_comments_ignored(self):
+        db = graph_io.loads("# header\n\nt # 0\n\nv 0 1\n# done\n")
+        assert len(db) == 1
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("v 0 1\n", "before 't'"),
+            ("e 0 1 2\n", "before 't'"),
+            ("t\n", "no graph id"),
+            ("t #\n", "graph id is not an integer"),
+            ("t # x\n", "graph id is not an integer"),
+            ("t # 0\nv 0\n", "'v' record needs 2 fields"),
+            ("t # 0\nv 0 1 extra\n", "'v' record needs 2 fields"),
+            ("t # 0\nv 1 7\n", "out of order"),
+            ("t # 0\nv zero 7\n", "vertex id is not an integer"),
+            ("t # 0\nv 0 1\ne 0 1\n", "'e' record needs 3 fields"),
+            ("t # 0\nv 0 1\ne 0 x 5\n", "endpoint is not an integer"),
+            ("t # 0\nq 1 2\n", "unknown directive"),
+        ],
+    )
+    def test_malformed_records_raise(self, text, match):
+        with pytest.raises(GraphParseError, match=match):
+            graph_io.loads(text)
+
+    def test_error_provenance(self, tmp_path):
+        path = tmp_path / "db.tve"
+        path.write_text("t # 0\nv 0 1\nbad line here\n")
+        with pytest.raises(GraphParseError) as excinfo:
+            graph_io.read_database(path)
+        err = excinfo.value
+        assert err.source == str(path)
+        assert err.line == 3
+        assert err.token == "bad"
+        assert err.gid == 0
+        assert str(path) in str(err) and ":3:" in str(err)
+
+    def test_parse_error_is_value_error(self):
+        # Legacy callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            graph_io.loads("t # nope\n")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            graph_io.loads(GOOD, on_error="explode")
+
+
+class TestLenientPolicies:
+    def test_skip_drops_only_poisoned_graph(self):
+        report = ParseReport()
+        pairs = list(
+            graph_io.iter_graphs(
+                POISONED.splitlines(), on_error="skip", report=report
+            )
+        )
+        assert [gid for gid, _ in pairs] == [0, 2]
+        assert report.graphs_ok == 2
+        assert report.graphs_skipped == 1
+        assert report.errors == []  # skip counts, collect records
+        assert not report.clean
+
+    def test_collect_keeps_typed_errors(self):
+        report = ParseReport()
+        list(
+            graph_io.iter_graphs(
+                POISONED.splitlines(), on_error="collect", report=report
+            )
+        )
+        assert len(report.errors) == 1
+        assert isinstance(report.errors[0], GraphParseError)
+        assert report.errors[0].line == 6
+
+    def test_multiple_errors_in_one_graph_skip_once(self):
+        text = "t # 0\nv 0 1\nbad\nworse\nt # 1\nv 0 1\n"
+        report = ParseReport()
+        pairs = list(
+            graph_io.iter_graphs(
+                text.splitlines(), on_error="skip", report=report
+            )
+        )
+        assert [gid for gid, _ in pairs] == [1]
+        assert report.graphs_skipped == 1
+
+    def test_poisoned_tail_graph_not_yielded(self):
+        text = "t # 0\nv 0 1\nt # 1\nv 0 1\nbad\n"
+        pairs = list(
+            graph_io.iter_graphs(text.splitlines(), on_error="skip")
+        )
+        assert [gid for gid, _ in pairs] == [0]
+
+    def test_bad_t_line_poisons_following_records(self):
+        text = "t # nope\nv 0 1\ne 0 0 1\nt # 5\nv 0 2\n"
+        report = ParseReport()
+        pairs = list(
+            graph_io.iter_graphs(
+                text.splitlines(), on_error="skip", report=report
+            )
+        )
+        assert [gid for gid, _ in pairs] == [5]
+        assert report.graphs_skipped == 1
+
+    def test_read_database_skip_policy(self, tmp_path):
+        path = tmp_path / "db.tve"
+        path.write_text(POISONED)
+        report = ParseReport()
+        db = graph_io.read_database(path, on_error="skip", report=report)
+        assert sorted(db.gids()) == [0, 2]
+        assert report.graphs_skipped == 1
+
+    def test_report_summary_wording(self):
+        report = ParseReport(graphs_ok=3)
+        assert "3 graphs parsed cleanly" in report.summary()
+        report = ParseReport(graphs_ok=3, graphs_skipped=2)
+        assert "2 skipped" in report.summary()
+        assert "recorded" not in report.summary()
+
+
+class TestRoundTrip:
+    def test_write_then_strict_read(self, tmp_path):
+        db = graph_io.loads(GOOD)
+        path = tmp_path / "out.tve"
+        graph_io.write_database(db, path)
+        back = graph_io.read_database(path)
+        assert len(back) == len(db)
+        assert graph_io.dumps(back) == graph_io.dumps(db)

@@ -1,0 +1,160 @@
+"""Tests for health primitives (repro.resilience.health)."""
+
+import pytest
+
+from repro.resilience.errors import CircuitOpen, DeadlineExceeded
+from repro.resilience.health import CircuitBreaker, Deadline, MemoryWatermark
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, reset=10.0):
+        return CircuitBreaker(
+            "dep",
+            failure_threshold=threshold,
+            reset_timeout=reset,
+            clock=clock,
+        )
+
+    def test_starts_closed_and_allows(self):
+        breaker = self.make(FakeClock())
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_failure_threshold(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats["opens"] == 1
+        assert breaker.stats["rejected"] == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_one_probe(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller: still rejected
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_retrips_full_timeout(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_call_wraps_function(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1)
+        assert breaker.call(lambda: 42) == 42
+        with pytest.raises(RuntimeError, match="boom"):
+            breaker.call(self._boom)
+        with pytest.raises(CircuitOpen, match="dep"):
+            breaker.call(lambda: 42)
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+    def test_snapshot_shape(self):
+        breaker = self.make(FakeClock())
+        snap = breaker.snapshot()
+        assert snap["name"] == "dep"
+        assert snap["state"] == "closed"
+        assert {"calls", "failures", "opens", "rejected"} <= set(snap)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+
+
+class TestDeadline:
+    def test_not_expired_within_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        deadline.check()  # no raise
+
+    def test_check_raises_after_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        clock.advance(5.1)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="match query"):
+            deadline.check("match query")
+
+
+class TestMemoryWatermark:
+    def test_levels(self):
+        usage = {"rss": 0}
+        mark = MemoryWatermark(100, 200, usage_fn=lambda: usage["rss"])
+        assert mark.level() == "ok"
+        usage["rss"] = 150
+        assert mark.level() == "soft"
+        usage["rss"] = 200
+        assert mark.level() == "hard"
+
+    def test_unset_thresholds_always_ok(self):
+        mark = MemoryWatermark(usage_fn=lambda: 10**15)
+        assert mark.level() == "ok"
+
+    def test_soft_above_hard_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryWatermark(200, 100)
+
+    def test_snapshot(self):
+        mark = MemoryWatermark(100, 200, usage_fn=lambda: 42)
+        assert mark.snapshot() == {
+            "usage_bytes": 42,
+            "soft_bytes": 100,
+            "hard_bytes": 200,
+            "level": "ok",
+        }
+
+    def test_default_usage_fn_returns_something(self):
+        # On Linux this reads /proc/self/statm; a real process has RSS.
+        assert MemoryWatermark(1, 2).usage() > 0

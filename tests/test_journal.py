@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro.updates.generator import UpdateGenerator
-from repro.updates.journal import UpdateJournal, replay
+from repro.updates.journal import TornJournalWarning, UpdateJournal, replay
 from repro.updates.model import (
     AddEdge,
     AddVertex,
@@ -133,3 +133,65 @@ class TestValidation:
         ]
         with pytest.raises(ValueError, match="unknown update op"):
             UpdateJournal.load(iter(lines))
+
+
+class TestTornTail:
+    """A crash mid-append tears the final record; replay must survive it."""
+
+    def _journal_lines(self):
+        journal = UpdateJournal(meta={"dataset": "demo"})
+        for batch in sample_batches():
+            journal.append(batch)
+        buffer = io.StringIO()
+        journal.dump(buffer)
+        return buffer.getvalue().splitlines()
+
+    def test_torn_final_record_truncated_with_warning(self):
+        lines = self._journal_lines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # torn mid-write
+        with pytest.warns(TornJournalWarning, match="torn record"):
+            back = UpdateJournal.load(iter(lines))
+        assert back.batches == sample_batches()[:-1]
+        assert back.meta == {"dataset": "demo"}
+
+    def test_torn_tail_raise_policy(self):
+        lines = self._journal_lines()
+        lines[-1] = lines[-1][:10]
+        with pytest.raises(ValueError, match="corrupt journal record"):
+            UpdateJournal.load(iter(lines), torn_tail="raise")
+
+    def test_mid_file_corruption_always_raises(self):
+        lines = self._journal_lines()
+        lines[1] = lines[1][:10]  # not the tail: bit rot, not a torn append
+        with pytest.raises(ValueError, match="corrupt journal record"):
+            UpdateJournal.load(iter(lines))
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="torn_tail"):
+            UpdateJournal.load(iter([]), torn_tail="maybe")
+
+    def test_torn_tail_on_disk_roundtrip(self, tmp_path):
+        journal = UpdateJournal()
+        for batch in sample_batches():
+            journal.append(batch)
+        path = tmp_path / "updates.jsonl"
+        journal.save(path, atomic=False)  # no checksum footer: raw lines
+        raw = path.read_text().splitlines()
+        path.write_text("\n".join(raw[:-1] + [raw[-1][:12]]) + "\n")
+        with pytest.warns(TornJournalWarning):
+            back = UpdateJournal.read(path)
+        assert back.batches == sample_batches()[:-1]
+
+    def test_replay_after_truncation_applies_complete_batches(self):
+        lines = self._journal_lines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        with pytest.warns(TornJournalWarning):
+            back = UpdateJournal.load(iter(lines))
+        from repro.graph.database import GraphDatabase
+
+        from .conftest import path_graph
+
+        db = GraphDatabase([(0, path_graph(5)), (1, path_graph(5))])
+        touched = replay(back, db)
+        assert touched  # the surviving batch really was applied
+        assert db[0].has_edge(0, 3)

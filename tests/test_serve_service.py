@@ -192,11 +192,13 @@ class TestEndpoints:
         with PatternService(catalog, db) as service:
             status, body = http_get(service.base_url + "/healthz")
             assert status == 200
-            assert body == {
-                "status": "ok",
-                "version": 1,
-                "patterns": len(patterns),
-            }
+            assert body["status"] == "ok"
+            assert body["ready"] is True
+            assert body["version"] == 1
+            assert body["patterns"] == len(patterns)
+            assert body["circuits"]["catalog"]["state"] == "closed"
+            assert body["circuits"]["query"]["state"] == "closed"
+            assert body["memory"]["level"] == "ok"
 
             status, body = http_get(service.base_url + "/stats")
             assert status == 200

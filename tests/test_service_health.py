@@ -1,0 +1,262 @@
+"""Service health: /healthz|/readyz flips, breakers, deadlines, memory."""
+
+import pytest
+
+from repro.resilience.errors import CircuitOpen
+from repro.resilience.faults import FaultPlan
+from repro.serve.service import PatternService, ServiceError, encode_graph
+
+from .conftest import path_graph
+from .test_serve_service import http_get, http_post, published_catalog
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_service(tmp_path, **kwargs):
+    catalog, db, patterns = published_catalog(tmp_path)
+    service = PatternService(catalog, db, **kwargs)
+    return service, patterns
+
+
+class TestHealthFlip:
+    def test_healthz_flips_under_open_circuit_and_recovers(self, tmp_path):
+        """The acceptance drill: open circuit => unready; successful
+        half-open probe => ok again."""
+        clock = FakeClock()
+        service, _ = make_service(
+            tmp_path, breaker_failures=2, breaker_reset=5.0,
+            breaker_clock=clock,
+        )
+        with service:
+            status, body = http_get(service.base_url + "/healthz")
+            assert (status, body["status"]) == (200, "ok")
+
+            # Two failing reloads trip the catalog breaker.
+            plan = FaultPlan().inject(
+                "serve.reload", OSError("manifest unreadable"), times=2
+            )
+            with plan.active():
+                for _ in range(2):
+                    status, body = http_post(
+                        service.base_url + "/reload", {}
+                    )
+                    assert status == 500
+            assert service.breakers["catalog"].state == "open"
+
+            status, body = http_get(service.base_url + "/healthz")
+            assert status == 503
+            assert body["status"] == "unready"
+            assert body["ready"] is False
+            assert body["circuits"]["catalog"]["state"] == "open"
+
+            # While open, /reload fails fast with 503 (no catalog I/O).
+            status, body = http_post(service.base_url + "/reload", {})
+            assert status == 503
+            assert "circuit" in body["error"]
+
+            # After the reset timeout a half-open probe is admitted; the
+            # fault is spent, so it succeeds and closes the breaker.
+            clock.advance(5.0)
+            status, body = http_post(service.base_url + "/reload", {})
+            assert status == 200
+            assert service.breakers["catalog"].state == "closed"
+
+            status, body = http_get(service.base_url + "/healthz")
+            assert (status, body["status"]) == (200, "ok")
+
+    def test_readyz_mirrors_healthz(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            for route in ("/healthz", "/readyz"):
+                status, body = http_get(service.base_url + route)
+                assert status == 200
+                assert body["ready"] is True
+                assert set(body) >= {"circuits", "memory", "version"}
+
+
+class TestQueryBreaker:
+    def test_open_query_circuit_rejects_with_503(self, tmp_path):
+        service, _ = make_service(tmp_path, breaker_failures=1)
+        with service:
+            service.breakers["query"].record_failure()
+            assert service.breakers["query"].state == "open"
+            status, body = http_post(
+                service.base_url + "/query/match",
+                {"pattern": encode_graph(path_graph(2))},
+            )
+            assert status == 503
+            assert "circuit" in body["error"]
+            assert service.stats()["circuit_rejections"] == 1
+            status, body = http_get(service.base_url + "/healthz")
+            assert status == 503 and body["status"] == "unready"
+
+    def test_engine_failures_trip_then_recover(self, tmp_path):
+        clock = FakeClock()
+        service, _ = make_service(
+            tmp_path, breaker_failures=2, breaker_reset=1.0,
+            breaker_clock=clock,
+        )
+        boom = {"on": True}
+        real_match = service._engine.match
+
+        def flaky_match(pattern, induced=False, deadline=None):
+            if boom["on"]:
+                raise RuntimeError("engine exploded")
+            return real_match(pattern, induced=induced, deadline=deadline)
+
+        service._engine.match = flaky_match
+        payload = {"pattern": encode_graph(path_graph(2))}
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                service.execute("match", payload)
+        assert service.breakers["query"].state == "open"
+        with pytest.raises(ServiceError) as excinfo:
+            service.execute("match", payload)
+        assert excinfo.value.status == 503
+
+        boom["on"] = False
+        clock.advance(1.0)
+        answer = service.execute("match", payload)
+        assert answer["version"] == 1
+        assert service.breakers["query"].state == "closed"
+
+
+class TestDeadlines:
+    def test_expired_deadline_maps_to_504(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            status, body = http_post(
+                service.base_url + "/query/match",
+                {
+                    "pattern": encode_graph(path_graph(2)),
+                    "deadline_ms": 0.0001,
+                },
+            )
+            assert status == 504
+            assert "deadline" in body["error"]
+            assert service.stats()["deadline_exceeded"] == 1
+            # The engine is healthy: a deadline miss is the caller's
+            # budget, not a dependency failure.
+            assert service.breakers["query"].state == "closed"
+
+    def test_generous_deadline_answers_normally(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            status, body = http_post(
+                service.base_url + "/query/match",
+                {
+                    "pattern": encode_graph(path_graph(2)),
+                    "deadline_ms": 60_000,
+                },
+            )
+            assert status == 200
+            assert body["support"] >= 0
+
+    def test_default_deadline_applies(self, tmp_path):
+        service, _ = make_service(tmp_path, default_deadline=1e-9)
+        with pytest.raises(Exception) as excinfo:
+            service.execute(
+                "match", {"pattern": encode_graph(path_graph(2))}
+            )
+        assert "deadline" in str(excinfo.value).lower()
+
+    def test_bad_deadline_rejected(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        for bad in ("soon", -5, 0):
+            with pytest.raises(ServiceError) as excinfo:
+                service.execute(
+                    "match",
+                    {
+                        "pattern": encode_graph(path_graph(2)),
+                        "deadline_ms": bad,
+                    },
+                )
+            assert excinfo.value.status == 400
+
+
+class TestMemoryWatermark:
+    def test_soft_watermark_drops_caches_not_requests(self, tmp_path):
+        usage = {"rss": 0}
+        service, _ = make_service(
+            tmp_path,
+            memory_soft_bytes=100,
+            memory_hard_bytes=200,
+            memory_usage_fn=lambda: usage["rss"],
+        )
+        payload = {"pattern": encode_graph(path_graph(2))}
+        baseline = service.execute("match", payload)
+        assert service.engine._lru  # the answer was cached
+
+        usage["rss"] = 150
+        answer = service.execute("match", payload)
+        assert answer == baseline  # degraded, still exact
+        assert service.stats()["cache_drops"] >= 1
+
+    def test_hard_watermark_sheds_with_503(self, tmp_path):
+        usage = {"rss": 500}
+        service, _ = make_service(
+            tmp_path,
+            memory_soft_bytes=100,
+            memory_hard_bytes=200,
+            memory_usage_fn=lambda: usage["rss"],
+        )
+        with service:
+            status, body = http_post(
+                service.base_url + "/query/match",
+                {"pattern": encode_graph(path_graph(2))},
+            )
+            assert status == 503
+            assert "memory" in body["error"]
+            assert service.stats()["shed_memory"] == 1
+            status, body = http_get(service.base_url + "/healthz")
+            assert status == 503
+            assert body["memory"]["level"] == "hard"
+
+            # Pressure subsides: service recovers on its own.
+            usage["rss"] = 0
+            status, body = http_post(
+                service.base_url + "/query/match",
+                {"pattern": encode_graph(path_graph(2))},
+            )
+            assert status == 200
+            status, body = http_get(service.base_url + "/healthz")
+            assert status == 200
+
+    def test_clear_caches_reports_sizes(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        service.execute("match", {"pattern": encode_graph(path_graph(2))})
+        dropped = service.engine.clear_caches()
+        assert dropped["lru_entries"] >= 1
+        assert not service.engine._lru
+
+
+class TestCircuitOpenMapping:
+    def test_circuit_open_maps_to_503_over_http(self, tmp_path):
+        service, _ = make_service(tmp_path, breaker_failures=1)
+        with service:
+            service.breakers["catalog"].record_failure()
+            status, body = http_post(service.base_url + "/reload", {})
+            assert status == 503
+            assert "circuit" in body["error"]
+
+    def test_reload_failure_counts_on_breaker(self, tmp_path):
+        service, _ = make_service(tmp_path, breaker_failures=3)
+        plan = FaultPlan().inject("serve.reload", OSError("io"), times=1)
+        with plan.active():
+            with pytest.raises(OSError):
+                service.reload()
+        assert service.breakers["catalog"].stats["failures"] == 1
+        # A clean reload closes the streak again.
+        assert service.reload() is False
+        assert service.breakers["catalog"].snapshot()[
+            "consecutive_failures"
+        ] == 0
