@@ -32,6 +32,7 @@ BENCHES = [
     "bench_ablation_miners.py",
     "bench_ablation_drift.py",
     "bench_ablation_selective.py",
+    "bench_obs_overhead.py",
 ]
 
 

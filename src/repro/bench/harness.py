@@ -87,9 +87,16 @@ class Experiment:
 
     def save(self, directory: str | Path) -> Path:
         """Atomically persist the result JSON (a crash mid-dump must not
-        leave a truncated file that poisons EXPERIMENTS.md generation)."""
+        leave a truncated file that poisons EXPERIMENTS.md generation).
+
+        A snapshot of the :mod:`repro.obs.metrics` registry is attached
+        under ``notes['metrics']`` first, so every benchmark artifact
+        carries the work counters of the run that produced it.
+        """
+        from ..obs import metrics as obs_metrics
         from ..resilience import integrity
 
+        self.notes["metrics"] = obs_metrics.registry().snapshot()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.exp_id}.json"

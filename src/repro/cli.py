@@ -11,6 +11,7 @@ Commands
 ``query``     — relocate patterns via the serving index (or linear scan)
 ``serve``     — publish patterns to a catalog and serve them over HTTP
 ``stats``     — print database statistics
+``trace``     — inspect observability trace files (``trace summarize``)
 
 Every command reads/writes the plain-text ``t/v/e`` graph format
 (:mod:`repro.graph.io`) and the JSON-lines pattern format
@@ -133,6 +134,21 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 unit_timeout=args.unit_timeout,
                 max_retries=args.retries,
             )
+        trace_sink = None
+        trace_id = None
+        if args.trace:
+            from .obs import EventSink, Tracer
+            from .obs import trace as obs_trace
+
+            trace_sink = EventSink(args.trace)
+            tracer = Tracer(on_record=trace_sink.emit)
+            trace_id = tracer.trace_id
+            obs_trace.activate(tracer)
+        profiler = None
+        if args.profile:
+            from .obs import PhaseProfiler
+
+            profiler = PhaseProfiler()
         miner = PartMiner(
             k=args.k,
             partitioner=partitioner,
@@ -141,14 +157,40 @@ def cmd_mine(args: argparse.Namespace) -> int:
             parallel_units=args.parallel,
             runtime=runtime_config,
             run_dir=args.run_dir,
+            profiler=profiler,
         )
-        result = miner.mine(database, args.support)
+        try:
+            result = miner.mine(database, args.support)
+        finally:
+            if trace_sink is not None:
+                from .obs import trace as obs_trace
+
+                obs_trace.activate(None)
+                sink_stats = trace_sink.close()
+                print(
+                    f"trace written to {args.trace} "
+                    f"({sink_stats['written_events']} events, "
+                    f"{sink_stats['dropped_events']} dropped)"
+                )
+        if profiler is not None:
+            from pathlib import Path as _Path
+
+            profile_dir = args.run_dir or _Path(
+                args.trace or "."
+            ).parent
+            for report in profiler.finish(profile_dir):
+                print(f"profile: {report}")
         patterns = result.patterns
         timing = (
             f"aggregate {result.aggregate_time:.2f}s, "
             f"parallel {result.parallel_time:.2f}s"
         )
         if result.telemetry is not None:
+            if trace_sink is not None:
+                result.telemetry.trace = {
+                    "trace_id": trace_id,
+                    **trace_sink.stats(),
+                }
             print(f"runtime: {result.telemetry.format_summary()}")
             if args.telemetry:
                 result.telemetry.save(args.telemetry)
@@ -164,6 +206,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
             raise ValueError(args.algorithm)
         patterns = miner.mine(database, args.support)
         timing = f"{time.perf_counter() - start:.2f}s"
+    if args.metrics:
+        from .obs import metrics as obs_metrics
+        from .resilience import integrity
+
+        integrity.atomic_write_json(
+            args.metrics, obs_metrics.registry().snapshot()
+        )
+        print(f"metrics snapshot saved to {args.metrics}")
     print(f"{len(patterns)} frequent patterns ({timing})")
     if args.output:
         save_patterns(
@@ -408,6 +458,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a trace file written by ``mine --trace``."""
+    from .obs import summarize_file
+
+    print(summarize_file(args.file, require=args.require_footer))
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Print database statistics."""
     database = _load_database(args)
@@ -442,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the support-counting acceleration layer "
              "(match plans, fingerprints, support cache); equivalent to "
              "setting REPRO_NO_ACCEL=1",
+    )
+    parser.add_argument(
+        "--no-obs", action="store_true",
+        help="disable the observability subsystem (spans, metric "
+             "observations, event sink, profiling); equivalent to "
+             "setting REPRO_NO_OBS=1",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -487,6 +551,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory resumes, skipping finished units")
     p.add_argument("--telemetry", default=None,
                    help="also write runtime telemetry JSON here")
+    p.add_argument("--trace", default=None,
+                   help="write a JSONL span trace of the run here "
+                        "(partminer only; render with `repro trace "
+                        "summarize`)")
+    p.add_argument("--metrics", default=None,
+                   help="write a JSON snapshot of the metrics registry "
+                        "here after mining")
+    p.add_argument("--profile", action="store_true",
+                   help="capture per-phase cProfile reports into the "
+                        "run dir (partminer only)")
     _add_parse_policy(p)
     p.set_defaults(func=cmd_mine)
 
@@ -576,6 +650,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parse_policy(p)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "trace", help="inspect observability trace files"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "summarize", help="render a trace file as a phase-time tree"
+    )
+    p.add_argument("file", help="JSONL trace from `mine --trace`")
+    p.add_argument("--require-footer", action="store_true",
+                   help="fail (exit 3) unless the integrity footer "
+                        "verifies — rejects truncated traces")
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("stats", help="database statistics")
     p.add_argument("database")
     _add_parse_policy(p)
@@ -592,6 +679,10 @@ def main(argv: list[str] | None = None) -> int:
         from . import perf
 
         perf.set_enabled(False)
+    if args.no_obs:
+        from . import obs
+
+        obs.set_enabled(False)
     try:
         faults.fire(SITE_RUN, command=args.command)
         return args.func(args)

@@ -32,7 +32,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from .. import perf
+from .. import obs, perf
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..graph.database import GraphDatabase
 from ..graph.isomorphism import subgraph_exists
 from ..mining.base import Pattern, PatternKey, PatternSet
@@ -221,12 +223,32 @@ class IncrementalPartMiner:
         """Process one update batch incrementally."""
         if self._result is None or self._database is None:
             raise RuntimeError("call initial_mine() first")
+        t_start = time.perf_counter()
+        with obs.span(
+            "inc.apply_updates", updates=len(updates)
+        ) as root_span:
+            result = self._apply_updates_inner(updates)
+            root_span.set_attrs(
+                uf=len(result.unchanged),
+                fi=len(result.became_infrequent),
+                if_=len(result.became_frequent),
+                affected_units=result.stats.affected_units,
+            )
+        obs_metrics.observe_phase(
+            "inc_apply_updates", time.perf_counter() - t_start
+        )
+        return result
+
+    def _apply_updates_inner(
+        self, updates: list[Update]
+    ) -> IncrementalResult:
         old = self._result
         tree = old.tree
         threshold = self._threshold
         stats = IncrementalStats()
 
         # --- step 1: apply updates, re-partition updated graphs ---------
+        step = obs_trace.begin("inc.repartition")
         t0 = time.perf_counter()
         touched = apply_updates(self._database, updates)
         stats.updated_graphs = len(touched)
@@ -249,8 +271,14 @@ class IncrementalPartMiner:
             len(gids) for gids in changed_by_unit.values()
         )
         stats.repartition_time = time.perf_counter() - t0
+        step.set_attrs(
+            updated_graphs=stats.updated_graphs,
+            affected_units=stats.affected_units,
+        )
+        obs_trace.finish(step)
 
         # --- step 2: re-mine affected units ------------------------------
+        step = obs_trace.begin("inc.remine")
         new_unit_results = list(old.unit_results)
         if (
             self.runtime is not None
@@ -314,8 +342,11 @@ class IncrementalPartMiner:
             stats.remine_times.append(elapsed)
             stats.remine_time += elapsed
             stats.units_remined += 1
+        step.set_attrs(units_remined=stats.units_remined)
+        obs_trace.finish(step)
 
         # --- step 3: the prune set P (Fig 12 lines 1-9) ------------------
+        step = obs_trace.begin("inc.prune")
         t0 = time.perf_counter()
         prune = self._prepare_prune_set(
             self._build_prune_set(old, new_unit_results, affected)
@@ -328,8 +359,13 @@ class IncrementalPartMiner:
             if not self._hits_prune_set(pattern, prune):
                 known.add(pattern)
         stats.classify_time += time.perf_counter() - t0
+        step.set_attrs(
+            prune_set=stats.prune_set_size, known=len(known)
+        )
+        obs_trace.finish(step)
 
         # --- step 5: incremental merge-join -------------------------------
+        step = obs_trace.begin("inc.merge")
         # Fig 12 line 6: recombination is needed only when an affected unit
         # *gained* patterns (losses are handled by the prune set alone).
         recombine = any(
@@ -379,8 +415,14 @@ class IncrementalPartMiner:
         else:
             new_patterns = known
         stats.merge_time = time.perf_counter() - t0
+        step.set_attrs(
+            recombined=bool(recombine or (affected and self.recheck_known)),
+            known_reused=stats.known_reused,
+        )
+        obs_trace.finish(step)
 
         # --- step 6: classification ---------------------------------------
+        step = obs_trace.begin("inc.classify")
         t0 = time.perf_counter()
         old_keys = old.patterns.keys()
         new_keys = new_patterns.keys()
@@ -394,6 +436,12 @@ class IncrementalPartMiner:
             p for p in old.patterns if p.key not in new_keys
         )
         stats.classify_time += time.perf_counter() - t0
+        step.set_attrs(
+            uf=len(unchanged),
+            fi=len(became_infrequent),
+            if_=len(became_frequent),
+        )
+        obs_trace.finish(step)
 
         # Commit the new state.
         self._result = PartMinerResult(
@@ -541,17 +589,21 @@ class IncrementalPartMiner:
             affected_keys, node_known, stats,
         )
         merge_stats = MergeJoinStats()
-        merged = merge_join(
-            node.database,
-            left,
-            right,
-            node.support_threshold(threshold),
-            strict_paper_joins=self.strict_paper_joins,
-            max_size=self.max_size,
-            stats=merge_stats,
-            known=node_known(key),
-            support_cache=self.support_cache,
-        )
+        with obs.span(
+            "merge.level", level=node.depth, index=node.index
+        ) as level_span:
+            merged = merge_join(
+                node.database,
+                left,
+                right,
+                node.support_threshold(threshold),
+                strict_paper_joins=self.strict_paper_joins,
+                max_size=self.max_size,
+                stats=merge_stats,
+                known=node_known(key),
+                support_cache=self.support_cache,
+            )
+            level_span.set_attrs(patterns=len(merged))
         stats.known_reused += merge_stats.known_reused
         node_results[key] = merged
         return merged

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..graph.database import GraphDatabase
 from ..mining.base import Pattern, PatternKey, PatternSet
 from ..mining.edges import frequent_edges
@@ -137,23 +138,26 @@ def merge_join(
     # Exact level support for every carried pattern, seeded by child TIDs.
     # Patterns vouched for by `known` skip the count entirely.
     evaluated: dict[PatternKey, Pattern] = {}
-    for key, pattern in carried.items():
-        vouched = known.get(key) if known is not None else None
-        if vouched is not None:
-            stats.known_reused += 1
-            evaluated[key] = Pattern(
-                graph=pattern.graph,
-                key=key,
-                support=vouched.support,
-                tids=vouched.tids,
-            )
-        else:
-            support, tids = counter.count(pattern.graph, pattern.tids, key=key)
-            evaluated[key] = Pattern(
-                graph=pattern.graph, key=key, support=support, tids=tids
-            )
-        if evaluated[key].support >= threshold:
-            result.add(evaluated[key])
+    with obs.span("merge.verify_carried", carried=len(carried)):
+        for key, pattern in carried.items():
+            vouched = known.get(key) if known is not None else None
+            if vouched is not None:
+                stats.known_reused += 1
+                evaluated[key] = Pattern(
+                    graph=pattern.graph,
+                    key=key,
+                    support=vouched.support,
+                    tids=vouched.tids,
+                )
+            else:
+                support, tids = counter.count(
+                    pattern.graph, pattern.tids, key=key
+                )
+                evaluated[key] = Pattern(
+                    graph=pattern.graph, key=key, support=support, tids=tids
+                )
+            if evaluated[key].support >= threshold:
+                result.add(evaluated[key])
 
     def side_patterns(side_index: int, size: int) -> list[Pattern]:
         return [
@@ -172,56 +176,64 @@ def merge_join(
             break
         if size > max_carried and size not in new_frequent:
             break
-        left_k = side_patterns(0, size)
-        right_k = side_patterns(1, size)
-        f_k = new_frequent.get(size, [])
+        with obs.span("merge.round", round=size - 1, size=size) as round_span:
+            left_k = side_patterns(0, size)
+            right_k = side_patterns(1, size)
+            f_k = new_frequent.get(size, [])
 
-        join_inputs = [(left_k, f_k), (right_k, f_k), (f_k, f_k)]
-        if size == 2 or not strict_paper_joins:
-            # C^3 = Join(P^2(S0), P^2(S1)) seeds the loop; the same
-            # combination at higher sizes is the completeness fix.
-            join_inputs.append((left_k, right_k))
+            join_inputs = [(left_k, f_k), (right_k, f_k), (f_k, f_k)]
+            if size == 2 or not strict_paper_joins:
+                # C^3 = Join(P^2(S0), P^2(S1)) seeds the loop; the same
+                # combination at higher sizes is the completeness fix.
+                join_inputs.append((left_k, right_k))
 
-        seen = set(evaluated)
-        candidates: dict[PatternKey, tuple] = {}
-        for a, b in join_inputs:
-            for key, (graph, bound) in join_patterns(a, b, seen).items():
-                # First-found bound kept: every generating pair's TID
-                # intersection is a sound support bound on its own.
-                candidates.setdefault(key, (graph, bound))
+            seen = set(evaluated)
+            candidates: dict[PatternKey, tuple] = {}
+            for a, b in join_inputs:
+                for key, (graph, bound) in join_patterns(a, b, seen).items():
+                    # First-found bound kept: every generating pair's TID
+                    # intersection is a sound support bound on its own.
+                    candidates.setdefault(key, (graph, bound))
 
-        stats.rounds += 1
-        stats.candidates_generated += len(candidates)
-        for key, (graph, bound) in candidates.items():
-            vouched = known.get(key) if known is not None else None
-            if vouched is not None:
-                stats.known_reused += 1
+            stats.rounds += 1
+            stats.candidates_generated += len(candidates)
+            frequent_before = stats.candidates_frequent
+            for key, (graph, bound) in candidates.items():
+                vouched = known.get(key) if known is not None else None
+                if vouched is not None:
+                    stats.known_reused += 1
+                    pattern = Pattern(
+                        graph=graph,
+                        key=key,
+                        support=vouched.support,
+                        tids=vouched.tids,
+                    )
+                    evaluated[key] = pattern
+                    if pattern.support >= threshold:
+                        stats.candidates_frequent += 1
+                        new_frequent.setdefault(size + 1, []).append(pattern)
+                        result.add(pattern)
+                    continue
+                if len(bound) < threshold:
+                    # The TID bound already caps the support below threshold.
+                    evaluated[key] = Pattern(graph, key, 0, frozenset())
+                    continue
+                if not pattern_edge_triples(graph) <= allowed_triples:
+                    evaluated[key] = Pattern(graph, key, 0, frozenset())
+                    continue
+                support, tids = counter.count(graph, restrict=bound, key=key)
                 pattern = Pattern(
-                    graph=graph,
-                    key=key,
-                    support=vouched.support,
-                    tids=vouched.tids,
+                    graph=graph, key=key, support=support, tids=tids
                 )
                 evaluated[key] = pattern
-                if pattern.support >= threshold:
+                if support >= threshold:
                     stats.candidates_frequent += 1
                     new_frequent.setdefault(size + 1, []).append(pattern)
                     result.add(pattern)
-                continue
-            if len(bound) < threshold:
-                # The TID bound already caps the support below threshold.
-                evaluated[key] = Pattern(graph, key, 0, frozenset())
-                continue
-            if not pattern_edge_triples(graph) <= allowed_triples:
-                evaluated[key] = Pattern(graph, key, 0, frozenset())
-                continue
-            support, tids = counter.count(graph, restrict=bound, key=key)
-            pattern = Pattern(graph=graph, key=key, support=support, tids=tids)
-            evaluated[key] = pattern
-            if support >= threshold:
-                stats.candidates_frequent += 1
-                new_frequent.setdefault(size + 1, []).append(pattern)
-                result.add(pattern)
+            round_span.set_attrs(
+                candidates=len(candidates),
+                frequent=stats.candidates_frequent - frequent_before,
+            )
         size += 1
 
     stats.isomorphism_tests += counter.isomorphism_tests

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import math
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from .. import perf
+from .. import obs, perf
+from ..obs import metrics as obs_metrics
 from ..graph.database import GraphDatabase
 from ..mining.base import PatternSet
 from ..mining.gaston import GastonMiner
@@ -31,6 +33,17 @@ from .mergejoin import MergeJoinStats, merge_join
 MinerFactory = Callable[[], object]
 
 UnitSupport = str | int  # 'paper' | 'exact' | absolute count
+
+
+class _NullProfiler:
+    """Stand-in when no ``--profile`` profiler was attached."""
+
+    @contextmanager
+    def phase(self, name: str):
+        yield
+
+
+_NULL_PROFILER = _NullProfiler()
 
 
 def resolve_unit_threshold(
@@ -143,6 +156,10 @@ class PartMiner:
         per :meth:`mine` call; pass a long-lived cache to carry
         containment verdicts across runs on the same database (what
         :class:`~repro.core.incremental.IncrementalPartMiner` does).
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler` capturing per-phase
+        cProfile stats (the CLI creates one under ``--profile``).
+        Worker processes are not followed; see :mod:`repro.obs.profile`.
     """
 
     k: int = 2
@@ -155,6 +172,7 @@ class PartMiner:
     runtime: object | None = None  # RuntimeConfig
     run_dir: str | Path | None = None
     support_cache: object | None = None  # SupportCache
+    profiler: object | None = None  # PhaseProfiler
 
     def mine(
         self,
@@ -174,12 +192,45 @@ class PartMiner:
             else perf.SupportCache()
         )
         counters_before = perf.snapshot()
+        profiler = self.profiler or _NULL_PROFILER
 
+        with obs.span(
+            "partminer.mine",
+            k=self.k,
+            threshold=threshold,
+            graphs=len(database),
+        ) as run_span:
+            result = self._mine_inner(
+                database, threshold, ufreq, support_cache, profiler
+            )
+            run_span.set_attrs(patterns=len(result.patterns))
+        if result.telemetry is not None:
+            result.telemetry.perf = {
+                "support_cache": support_cache.stats(),
+                "counters": perf.delta_since(counters_before).to_dict(),
+            }
+        return result
+
+    def _mine_inner(
+        self,
+        database: GraphDatabase,
+        threshold: int,
+        ufreq: UfreqMap | None,
+        support_cache: object,
+        profiler,
+    ) -> PartMinerResult:
         t0 = time.perf_counter()
-        tree = db_partition(
-            database, self.k, ufreq=ufreq, partitioner=self.partitioner
-        )
+        with obs.span("partminer.partition", k=self.k) as part_span:
+            with profiler.phase("partition"):
+                tree = db_partition(
+                    database,
+                    self.k,
+                    ufreq=ufreq,
+                    partitioner=self.partitioner,
+                )
+            part_span.set_attrs(units=len(tree.units()))
         partition_time = time.perf_counter() - t0
+        obs_metrics.observe_phase("partition", partition_time)
 
         result = PartMinerResult(
             patterns=PatternSet(),
@@ -202,57 +253,83 @@ class PartMiner:
             )
             for unit in units
         ]
-        if self.parallel_units:
-            from ..runtime import CheckpointStore, run_unit_mining
+        units_t0 = time.perf_counter()
+        with obs.span(
+            "partminer.units",
+            units=len(units),
+            parallel=self.parallel_units,
+        ), profiler.phase("unit_mining"):
+            if self.parallel_units:
+                from ..runtime import CheckpointStore, run_unit_mining
 
-            checkpoint = None
-            if self.run_dir is not None:
-                checkpoint = CheckpointStore(self.run_dir)
-                checkpoint.open(
-                    {
-                        "units": len(units),
-                        "thresholds": thresholds,
-                        "k": self.k,
-                        "root_threshold": threshold,
-                    }
+                checkpoint = None
+                if self.run_dir is not None:
+                    checkpoint = CheckpointStore(self.run_dir)
+                    checkpoint.open(
+                        {
+                            "units": len(units),
+                            "thresholds": thresholds,
+                            "k": self.k,
+                            "root_threshold": threshold,
+                        }
+                    )
+                run = run_unit_mining(
+                    units,
+                    thresholds,
+                    max_size=self.max_size,
+                    config=self.runtime,
+                    checkpoint=checkpoint,
+                    miner_factory=self.miner_factory,
                 )
-            run = run_unit_mining(
-                units,
-                thresholds,
-                max_size=self.max_size,
-                config=self.runtime,
-                checkpoint=checkpoint,
-                miner_factory=self.miner_factory,
-            )
-            result.telemetry = run.telemetry
-            if checkpoint is not None:
-                checkpoint.save_telemetry(run.telemetry)
-            for unit, mined, record in zip(
-                units, run.unit_results, run.telemetry.units
-            ):
-                result.unit_times.append(record.wall_time)
-                result.unit_results.append(mined)
-                result.node_results[(unit.depth, unit.index)] = mined
-        else:
-            for unit, unit_threshold in zip(units, thresholds):
-                miner = self.miner_factory()
-                if self.max_size is not None and hasattr(miner, "max_size"):
-                    miner.max_size = self.max_size
-                t0 = time.perf_counter()
-                mined = miner.mine(unit.database, unit_threshold)
-                result.unit_times.append(time.perf_counter() - t0)
-                result.unit_results.append(mined)
-                result.node_results[(unit.depth, unit.index)] = mined
+                result.telemetry = run.telemetry
+                if checkpoint is not None:
+                    checkpoint.save_telemetry(run.telemetry)
+                for unit, mined, record in zip(
+                    units, run.unit_results, run.telemetry.units
+                ):
+                    result.unit_times.append(record.wall_time)
+                    result.unit_results.append(mined)
+                    result.node_results[(unit.depth, unit.index)] = mined
+            else:
+                for unit, unit_threshold in zip(units, thresholds):
+                    miner = self.miner_factory()
+                    if self.max_size is not None and hasattr(
+                        miner, "max_size"
+                    ):
+                        miner.max_size = self.max_size
+                    t0 = time.perf_counter()
+                    with obs.span(
+                        "unit.mine",
+                        unit=unit.index,
+                        depth=unit.depth,
+                        threshold=unit_threshold,
+                    ) as unit_span:
+                        mined = miner.mine(unit.database, unit_threshold)
+                        unit_span.set_attrs(patterns=len(mined))
+                    result.unit_times.append(time.perf_counter() - t0)
+                    result.unit_results.append(mined)
+                    result.node_results[(unit.depth, unit.index)] = mined
+        obs_metrics.observe_phase(
+            "unit_mining", time.perf_counter() - units_t0
+        )
 
         # Phase 2b: recombine bottom-up along the tree.
-        result.patterns = self._combine(
-            tree.root, threshold, result, support_cache
+        merge_t0 = time.perf_counter()
+        with obs.span("partminer.merge") as merge_span, profiler.phase(
+            "merge_join"
+        ):
+            result.patterns = self._combine(
+                tree.root, threshold, result, support_cache
+            )
+            merge_span.set_attrs(
+                levels=len(
+                    {depth for depth, _ in result.merge_times}
+                ),
+                patterns=len(result.patterns),
+            )
+        obs_metrics.observe_phase(
+            "merge_join", time.perf_counter() - merge_t0
         )
-        if result.telemetry is not None:
-            result.telemetry.perf = {
-                "support_cache": support_cache.stats(),
-                "counters": perf.delta_since(counters_before).to_dict(),
-            }
         return result
 
     # ------------------------------------------------------------------
@@ -274,16 +351,23 @@ class PartMiner:
         )
         stats = MergeJoinStats()
         t0 = time.perf_counter()
-        merged = merge_join(
-            node.database,
-            left,
-            right,
-            node.support_threshold(root_threshold),
-            strict_paper_joins=self.strict_paper_joins,
-            max_size=self.max_size,
-            stats=stats,
-            support_cache=support_cache,
-        )
+        with obs.span(
+            "merge.level", level=node.depth, index=node.index
+        ) as level_span:
+            merged = merge_join(
+                node.database,
+                left,
+                right,
+                node.support_threshold(root_threshold),
+                strict_paper_joins=self.strict_paper_joins,
+                max_size=self.max_size,
+                stats=stats,
+                support_cache=support_cache,
+            )
+            level_span.set_attrs(
+                patterns=len(merged),
+                threshold=node.support_threshold(root_threshold),
+            )
         result.merge_times[key] = time.perf_counter() - t0
         result.merge_stats[key] = stats
         result.node_results[key] = merged

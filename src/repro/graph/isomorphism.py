@@ -216,10 +216,10 @@ def subgraph_exists_reference(
     compare searches entered with the layer off and on.
     """
     if _quick_reject(pattern, target):
-        COUNTERS.quick_rejects += 1
+        COUNTERS.inc("quick_rejects")
         return False
     if pattern.num_vertices > 0:
-        COUNTERS.vf2_calls += 1
+        COUNTERS.inc("vf2_calls")
     for _ in find_embeddings(pattern, target, limit=1, induced=induced):
         return True
     return False

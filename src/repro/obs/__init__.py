@@ -1,0 +1,50 @@
+"""Unified observability: tracing spans, metrics, async event export.
+
+The repo's four layers each grew a private telemetry dialect —
+``RunTelemetry`` JSON, process-global ``PerfCounters``, serve-engine work
+stats, health snapshots.  This package is the one substrate behind all
+of them (DESIGN.md §11):
+
+* :mod:`repro.obs.trace` — hierarchical spans over the whole pipeline,
+  contextvar-propagated, with an explicit handoff into runtime worker
+  processes;
+* :mod:`repro.obs.metrics` — a thread-safe registry of labeled
+  counters / gauges / histograms, exportable as a JSON snapshot or
+  Prometheus text (``PatternService /metrics``);
+* :mod:`repro.obs.sink` — a fapilog-style non-blocking bounded-queue
+  JSONL writer with an explicit drop counter and an integrity-framed
+  output file;
+* :mod:`repro.obs.summarize` — the ``repro trace summarize`` renderer;
+* :mod:`repro.obs.profile` — opt-in per-phase cProfile capture;
+* :mod:`repro.obs.switch` — the ``REPRO_NO_OBS`` / ``--no-obs`` kill
+  switch that turns every hook above into a near-free no-op.
+
+Convenience re-exports cover the common surface::
+
+    from repro import obs
+    with obs.span("partminer.partition", parts=8):
+        ...
+    obs.registry().counter("repro_thing_total").inc()
+"""
+
+from .metrics import (  # noqa: F401
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    registry,
+)
+from .profile import PhaseProfiler  # noqa: F401
+from .sink import EventSink, load_events  # noqa: F401
+from .summarize import summarize_file, summarize_spans  # noqa: F401
+from .switch import disabled, enabled, set_enabled  # noqa: F401
+from .trace import (  # noqa: F401
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate,
+    begin_in_child,
+    collect_child_spans,
+    current_handoff,
+    span,
+    traced,
+    tracing,
+)

@@ -1,0 +1,90 @@
+"""Opt-in per-phase cProfile capture (``repro mine --profile``).
+
+A :class:`PhaseProfiler` wraps each named pipeline phase in its own
+``cProfile.Profile`` and, on :meth:`finish`, writes one text report per
+phase — top-N functions by cumulative time — into the run directory
+(``profile/<phase>.txt``).  Phases that recur (per-unit mining,
+merge-join levels) accumulate into a single profile per phase name, so
+the report answers "where does *all* the unit-mining time go", not "where
+did unit 3 go".
+
+Profiling is opt-in and orthogonal to tracing: the profiler only exists
+when ``--profile`` was passed, and the hooks all no-op when the obs
+switch is off.  ``cProfile`` does not follow worker processes — under
+``--parallel`` the per-unit mining phase profiles only serial-fallback
+work; the parent-side phases (partition, merge-join, verification)
+profile fully either way.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from . import switch
+
+TOP_N = 25
+
+
+class PhaseProfiler:
+    """Accumulates one cProfile per phase name (see module docs)."""
+
+    def __init__(self, top_n: int = TOP_N) -> None:
+        self.top_n = top_n
+        self._profiles: dict[str, cProfile.Profile] = {}
+        self._lock = threading.Lock()
+        # cProfile cannot nest in one thread; track the active phase so
+        # inner phase() calls become no-ops instead of crashing.
+        self._active = threading.local()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Profile a block under ``name`` (reentrant-safe no-op inside
+        another profiled phase or with obs disabled)."""
+        if not switch.enabled() or getattr(self._active, "name", None):
+            yield
+            return
+        with self._lock:
+            profile = self._profiles.get(name)
+            if profile is None:
+                profile = self._profiles[name] = cProfile.Profile()
+        self._active.name = name
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._active.name = None
+
+    def report(self, name: str) -> str:
+        """The top-N cumulative-time report for one phase."""
+        with self._lock:
+            profile = self._profiles.get(name)
+        if profile is None:
+            return ""
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(self.top_n)
+        return buffer.getvalue()
+
+    def phases(self) -> list[str]:
+        with self._lock:
+            return sorted(self._profiles)
+
+    def finish(self, out_dir: str | Path) -> list[Path]:
+        """Write ``profile/<phase>.txt`` reports under ``out_dir``."""
+        out = Path(out_dir) / "profile"
+        out.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for name in self.phases():
+            text = self.report(name)
+            if not text:
+                continue
+            path = out / (name.replace("/", "_").replace(" ", "_") + ".txt")
+            path.write_text(text, encoding="utf-8")
+            written.append(path)
+        return written

@@ -1,0 +1,274 @@
+"""Async bounded-queue JSONL event sink (fapilog-style).
+
+The pipeline's hot paths must never block on observability I/O, so the
+sink decouples *emit* from *write*:
+
+* :meth:`EventSink.emit` serializes nothing and waits for nothing — it
+  enqueues the event dict onto a bounded queue and returns.  When the
+  queue is full the event is **dropped** and the explicit
+  ``dropped_events`` counter increments (visible in the registry as
+  ``repro_obs_dropped_events_total`` and in the sink's own footer
+  event).  Backpressure on the miner is never an option.
+* A background **flusher thread** drains the queue in batches and
+  appends JSON lines to the trace file.  A write failure (disk full,
+  injected ``obs.sink_write`` fault) marks the sink broken: subsequent
+  events drop, the mining run continues untouched.
+* :meth:`EventSink.close` drains gracefully — it enqueues a sentinel,
+  joins the flusher, appends a final ``sink_stats`` event, and seals the
+  file with the :mod:`repro.resilience.integrity` footer so a complete
+  trace is tamper-evident.  A crash mid-run leaves a footerless file
+  that still parses line-by-line (``load_events(..., require=False)``).
+
+Integrity note: the sha256 footer covers the bytes the sink *meant* to
+write (pre-:func:`~repro.resilience.faults.mangle`), while corruption
+injected at ``obs.sink_write`` lands in the file — so chaos-injected
+byte damage is detected at read time, exactly like every other framed
+artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+from pathlib import Path
+
+from ..resilience import faults, integrity
+from ..resilience.errors import ArtifactCorrupt
+from . import metrics, switch
+
+SITE_SINK_WRITE = faults.register_site(
+    "obs.sink_write", "observability event-sink file append"
+)
+
+_SENTINEL = object()
+
+
+class EventSink:
+    """Non-blocking JSONL writer for trace/metric events (see module docs)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        maxsize: int = 4096,
+        batch: int = 256,
+        start: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        self._batch = batch
+        self._lock = threading.Lock()
+        self._dropped = 0
+        self._written = 0
+        self._broken: str | None = None
+        self._closed = False
+        self._sha = hashlib.sha256()
+        self._bytes = 0
+        self._flusher: threading.Thread | None = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_bytes(b"")
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background flusher (idempotent; test seam when
+        constructed with ``start=False``)."""
+        if self._flusher is not None:
+            return
+        self._flusher = threading.Thread(
+            target=self._run, name="repro-obs-sink", daemon=True
+        )
+        self._flusher.start()
+
+    @property
+    def dropped_events(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    @property
+    def written_events(self) -> int:
+        with self._lock:
+            return self._written
+
+    @property
+    def broken(self) -> str | None:
+        """The failure detail if the sink gave up writing, else None."""
+        with self._lock:
+            return self._broken
+
+    # ------------------------------------------------------------------
+    def emit(self, event: dict) -> bool:
+        """Enqueue ``event``; returns False if it was dropped.
+
+        Never blocks, never raises into the caller: a full queue, a
+        closed sink, or a broken backing file all count the event as
+        dropped and move on.
+        """
+        if self._closed or self._broken is not None:
+            self._drop()
+            return False
+        try:
+            self._queue.put_nowait(event)
+            return True
+        except queue.Full:
+            self._drop()
+            return False
+
+    def _drop(self) -> None:
+        with self._lock:
+            self._dropped += 1
+        if switch.enabled():
+            metrics.registry().counter(
+                "repro_obs_dropped_events_total",
+                "Events dropped by the bounded observability sink",
+            ).inc()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            events = [item]
+            while len(events) < self._batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SENTINEL:
+                    self._write_batch(events)
+                    return
+                events.append(nxt)
+            self._write_batch(events)
+
+    def _write_batch(self, events: list[dict]) -> None:
+        if self._broken is not None:
+            with self._lock:
+                self._dropped += len(events)
+            return
+        try:
+            text = "".join(
+                json.dumps(event, sort_keys=True, default=str) + "\n"
+                for event in events
+            )
+            payload = text.encode("utf-8")
+            faults.fire(SITE_SINK_WRITE, path=str(self.path))
+            data = faults.mangle(
+                SITE_SINK_WRITE, payload, path=str(self.path)
+            )
+            with open(self.path, "ab") as out:
+                out.write(data)
+            # Hash the intended bytes: injected corruption must be
+            # *detectable* at read time, not laundered into the footer.
+            self._sha.update(payload)
+            self._bytes += len(payload)
+            with self._lock:
+                self._written += len(events)
+        except BaseException as exc:  # never let the flusher die loudly
+            with self._lock:
+                self._broken = f"{type(exc).__name__}: {exc}"
+                self._dropped += len(events)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> dict:
+        """Drain, stop the flusher, seal the file; returns sink stats."""
+        if not self._closed:
+            self._closed = True
+            if self._flusher is not None:
+                self._queue.put(_SENTINEL)
+                self._flusher.join(timeout=timeout)
+            else:
+                # Never-started sink (start=False test seam): flush
+                # whatever was enqueued synchronously.
+                pending: list[dict] = []
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is not _SENTINEL:
+                        pending.append(item)
+                if pending:
+                    self._write_batch(pending)
+            self._seal()
+        return self.stats()
+
+    def _seal(self) -> None:
+        if self._broken is not None:
+            return
+        stats_event = {
+            "event": "sink_stats",
+            "time": time.time(),
+            "written_events": self._written + 1,  # includes this line
+            "dropped_events": self._dropped,
+        }
+        try:
+            line = (
+                json.dumps(stats_event, sort_keys=True).encode("utf-8")
+                + b"\n"
+            )
+            self._sha.update(line)
+            self._bytes += len(line)
+            footer = (
+                f"{integrity.FOOTER_PREFIX}sha256={self._sha.hexdigest()} "
+                f"bytes={self._bytes}\n"
+            ).encode("utf-8")
+            with open(self.path, "ab") as out:
+                out.write(line + footer)
+            with self._lock:
+                self._written += 1
+        except BaseException as exc:
+            with self._lock:
+                self._broken = f"{type(exc).__name__}: {exc}"
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "written_events": self._written,
+                "dropped_events": self._dropped,
+                "broken": self._broken,
+            }
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading trace files back
+# ----------------------------------------------------------------------
+def load_events(
+    path: str | Path, *, require: bool = False
+) -> list[dict]:
+    """Parse a sink file back into event dicts, verifying its footer.
+
+    ``require=False`` (the default) accepts a footerless file — the
+    shape a crashed run leaves behind — and skips a torn final line.
+    With ``require=True`` a missing footer or digest mismatch raises
+    :class:`~repro.resilience.errors.ArtifactCorrupt`.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    payload = integrity.unframe(text, path=path, require=require)
+    events: list[dict] = []
+    lines = payload.splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not require:
+                break  # torn tail from a crash: drop the partial line
+            raise ArtifactCorrupt(
+                f"{path}: unparseable event at line {i + 1}", path=path
+            ) from None
+    return events

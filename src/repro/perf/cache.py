@@ -68,12 +68,12 @@ class SupportCache:
                 version, verdict = record
                 if version == graph.version:
                     self.hits += 1
-                    COUNTERS.support_cache_hits += 1
+                    COUNTERS.inc("support_cache_hits")
                     return verdict
                 del entry[(key, induced)]
                 self.invalidated += 1
         self.misses += 1
-        COUNTERS.support_cache_misses += 1
+        COUNTERS.inc("support_cache_misses")
         return None
 
     def put(
@@ -90,7 +90,7 @@ class SupportCache:
             self._verdicts[graph] = entry
         entry[(key, induced)] = (graph.version, verdict)
         self.stores += 1
-        COUNTERS.support_cache_stores += 1
+        COUNTERS.inc("support_cache_stores")
         key_id = id(key)
         if key_id not in self._key_bytes:
             self._key_bytes[key_id] = sys.getsizeof(key)

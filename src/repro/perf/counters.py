@@ -12,6 +12,15 @@ the same workload with acceleration off and on and comparing the two
 deltas is how ``benchmarks/bench_support_counting.py`` computes the
 reduction factor.
 
+Since the serving layer arrived these counters are hit concurrently by
+``PatternService``'s worker-thread pool, so the live instance is no
+longer a bag of bare ints: :class:`LiveCounters` stores each field as a
+locked series in the :mod:`repro.obs.metrics` registry (family
+``repro_perf_events_total``, labeled by counter name).  Hot paths call
+:meth:`LiveCounters.inc`; attribute *reads* (``COUNTERS.vf2_calls``) and
+the snapshot/delta API are unchanged, and :class:`PerfCounters` remains
+the plain-int value object snapshots are made of.
+
 The module is re-exported as :mod:`repro.bench.counters` for benchmark
 code; the implementation lives here so the hot modules
 (:mod:`repro.graph.isomorphism`, :mod:`repro.core.join`) can import it
@@ -21,6 +30,13 @@ without pulling in the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
+
+from ..obs import metrics as _metrics
+
+#: Registry family backing the live counters (always on — perf counters
+#: measure algorithmic work, independent of the obs kill switch).
+FAMILY = "repro_perf_events_total"
+_HELP = "Support-counting acceleration work counters, by counter name"
 
 
 @dataclass
@@ -59,11 +75,69 @@ class PerfCounters:
             setattr(self, f.name, 0)
 
 
+_FIELD_NAMES = tuple(f.name for f in fields(PerfCounters))
+
+
+class LiveCounters:
+    """The mutable global counters, stored as locked registry series.
+
+    Drop-in for the old bare-``int`` dataclass instance: reads like
+    ``COUNTERS.vf2_calls`` return ints, ``COUNTERS.vf2_calls = 0`` still
+    works (it forces the series value), but the supported hot-path write
+    is the atomic ``COUNTERS.inc("vf2_calls")``.
+    """
+
+    __slots__ = ("_series",)
+
+    def __init__(self) -> None:
+        family = _metrics.registry().counter(
+            FAMILY, _HELP, labels=("counter",)
+        )
+        object.__setattr__(
+            self,
+            "_series",
+            {name: family.labels(counter=name) for name in _FIELD_NAMES},
+        )
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically bump one counter (the hot-path API)."""
+        self._series[name].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        series = self._series.get(name)
+        if series is None:
+            raise AttributeError(name)
+        return int(series.value)
+
+    def __setattr__(self, name: str, value) -> None:
+        series = self._series.get(name)
+        if series is None:
+            raise AttributeError(name)
+        series._force(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> PerfCounters:
+        """Freeze the live values into a plain-int value object."""
+        return PerfCounters(
+            **{name: int(s.value) for name, s in self._series.items()}
+        )
+
+    def delta(self, since: PerfCounters) -> PerfCounters:
+        return self.snapshot().delta(since)
+
+    def to_dict(self) -> dict[str, int]:
+        return self.snapshot().to_dict()
+
+    def reset(self) -> None:
+        for series in self._series.values():
+            series.reset()
+
+
 #: The process-wide counter instance every fast path increments.
-COUNTERS = PerfCounters()
+COUNTERS = LiveCounters()
 
 
-def global_counters() -> PerfCounters:
+def global_counters() -> LiveCounters:
     """The live global counter object (mutating it is the API)."""
     return COUNTERS
 

@@ -131,9 +131,9 @@ class GraphFingerprint:
         if reason is None:
             return True
         if reason in ("counts", "histogram"):
-            COUNTERS.quick_rejects += 1
+            COUNTERS.inc("quick_rejects")
         else:
-            COUNTERS.fingerprint_rejects += 1
+            COUNTERS.inc("fingerprint_rejects")
         return False
 
 
@@ -188,9 +188,9 @@ def get_fingerprint(graph: LabeledGraph) -> GraphFingerprint:
     """The (cached) fingerprint of ``graph`` at its current version."""
     fingerprint = _FINGERPRINTS.get(graph)
     if fingerprint is not None and fingerprint.version == graph.version:
-        COUNTERS.fingerprint_hits += 1
+        COUNTERS.inc("fingerprint_hits")
         return fingerprint
     fingerprint = GraphFingerprint(graph)
     _FINGERPRINTS[graph] = fingerprint
-    COUNTERS.fingerprint_builds += 1
+    COUNTERS.inc("fingerprint_builds")
     return fingerprint

@@ -113,11 +113,11 @@ def get_match_plan(pattern: LabeledGraph) -> MatchPlan:
     """The (cached) compiled plan of ``pattern`` at its current version."""
     plan = _PLANS.get(pattern)
     if plan is not None and plan.version == pattern.version:
-        COUNTERS.plan_hits += 1
+        COUNTERS.inc("plan_hits")
         return plan
     plan = MatchPlan(pattern)
     _PLANS[pattern] = plan
-    COUNTERS.plan_compiles += 1
+    COUNTERS.inc("plan_compiles")
     return plan
 
 
@@ -135,7 +135,7 @@ def plan_exists(
     n = plan.n
     if n == 0:
         return True
-    COUNTERS.vf2_calls += 1
+    COUNTERS.inc("vf2_calls")
 
     vlabels = plan.vlabels
     degrees = plan.degrees

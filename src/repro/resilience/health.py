@@ -139,6 +139,28 @@ class CircuitBreaker:
                 **self.stats,
             }
 
+    #: Numeric encoding of breaker states for gauge export.
+    STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def export_gauges(self) -> None:
+        """Publish this breaker's state into the obs metrics registry."""
+        from ..obs import metrics as obs_metrics
+
+        snap = self.snapshot()
+        registry = obs_metrics.registry()
+        registry.gauge(
+            "repro_circuit_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+            labels=("circuit",),
+        ).labels(circuit=self.name).set(
+            self.STATE_CODES.get(snap["state"], -1)
+        )
+        registry.gauge(
+            "repro_circuit_consecutive_failures",
+            "Consecutive failures recorded by a circuit breaker",
+            labels=("circuit",),
+        ).labels(circuit=self.name).set(snap["consecutive_failures"])
+
 
 # ----------------------------------------------------------------------
 class Deadline:
@@ -239,3 +261,19 @@ class MemoryWatermark:
             "hard_bytes": self.hard_bytes,
             "level": self.level(),
         }
+
+    #: Numeric encoding of watermark levels for gauge export.
+    LEVEL_CODES = {OK: 0, SOFT: 1, HARD: 2}
+
+    def export_gauges(self) -> None:
+        """Publish memory usage + level into the obs metrics registry."""
+        from ..obs import metrics as obs_metrics
+
+        registry = obs_metrics.registry()
+        registry.gauge(
+            "repro_memory_usage_bytes", "Resident memory usage"
+        ).set(self.usage())
+        registry.gauge(
+            "repro_memory_watermark_level",
+            "Memory watermark level (0=ok, 1=soft, 2=hard)",
+        ).set(self.LEVEL_CODES[self.level()])

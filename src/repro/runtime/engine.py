@@ -36,6 +36,8 @@ from typing import Callable
 from ..graph.database import GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
 from ..mining.base import Pattern, PatternSet
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..resilience import faults
 from ..resilience.errors import ArtifactCorrupt
 from .checkpoint import CheckpointStore
@@ -97,10 +99,26 @@ def mine_unit_worker(payload: dict, attempt: int) -> list:
 
 
 def _child_main(worker: Worker, payload: object, attempt: int, conn) -> None:
-    """Worker-process entry: run the worker, report over the pipe."""
+    """Worker-process entry: run the worker, report over the pipe.
+
+    When the attempt payload carries an ``obs_trace`` handoff (a traced
+    parent run), the child joins the parent's trace: its work runs under
+    a ``unit.worker`` span and the collected spans ride back in a third
+    message element — ``("ok", result, spans)``.  Untraced payloads keep
+    the original two-element protocol byte for byte.
+    """
+    handoff = (
+        payload.get("obs_trace") if isinstance(payload, dict) else None
+    )
     try:
-        result = worker(payload, attempt)
-        conn.send(("ok", result))
+        if handoff:
+            obs_trace.begin_in_child(handoff)
+            with obs_trace.span("unit.worker", attempt=attempt):
+                result = worker(payload, attempt)
+            conn.send(("ok", result, obs_trace.collect_child_spans()))
+        else:
+            result = worker(payload, attempt)
+            conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -199,6 +217,9 @@ class MiningRuntime:
         start = time.perf_counter()
         results: dict[int, PatternSet | None] = {}
         records: dict[int, UnitRecord] = {}
+        # ContextVars do not follow the supervisor threads below, so
+        # capture the caller's span here and parent unit spans explicitly.
+        parent_span = obs_trace.current_span_id()
 
         fresh: list[UnitTask] = []
         corrupt_checkpoints: dict[int, AttemptRecord] = {}
@@ -206,7 +227,10 @@ class MiningRuntime:
             if checkpoint is not None and checkpoint.has(task.index):
                 t0 = time.perf_counter()
                 try:
-                    patterns = checkpoint.load(task.index)
+                    with obs_trace.span(
+                        "unit.checkpoint_load", unit=task.index
+                    ):
+                        patterns = checkpoint.load(task.index)
                 except ArtifactCorrupt as exc:
                     # Bad bytes on disk: the store already quarantined
                     # the file; fall back to re-mining this unit and
@@ -248,7 +272,7 @@ class MiningRuntime:
                     fresh,
                     pool.map(
                         lambda t: self._run_unit(
-                            t, checkpoint, on_unit_complete
+                            t, checkpoint, on_unit_complete, parent_span
                         ),
                         fresh,
                     ),
@@ -282,6 +306,7 @@ class MiningRuntime:
         task: UnitTask,
         checkpoint: CheckpointStore | None,
         on_unit_complete,
+        parent_span: str | None = None,
     ) -> tuple[PatternSet | None, UnitRecord]:
         """Retry loop for one unit (runs on a supervisor thread)."""
         config = self.config
@@ -289,65 +314,80 @@ class MiningRuntime:
         attempts: list[AttemptRecord] = []
         patterns: PatternSet | None = None
 
-        for attempt in range(config.max_retries + 1):
-            record, mined = self._attempt(task, attempt)
-            attempts.append(record)
-            if record.outcome == "ok":
-                patterns = mined
-                break
-            if attempt < config.max_retries:
-                delay = config.backoff_delay(attempt)
-                record.backoff = delay
-                if delay > 0:
-                    self.sleep(delay)
+        with obs_trace.span(
+            "unit.mine", parent=parent_span, unit=task.index
+        ) as unit_span:
+            for attempt in range(config.max_retries + 1):
+                record, mined = self._attempt(task, attempt)
+                attempts.append(record)
+                if record.outcome == "ok":
+                    patterns = mined
+                    break
+                if attempt < config.max_retries:
+                    delay = config.backoff_delay(attempt)
+                    record.backoff = delay
+                    if delay > 0:
+                        self.sleep(delay)
 
-        if patterns is not None:
-            status = "ok"
-        elif config.fallback == "serial" and task.fallback is not None:
-            t0 = time.perf_counter()
-            try:
-                faults.fire(SITE_FALLBACK, unit=task.index)
-                patterns = task.fallback()
-            except Exception as exc:  # noqa: BLE001 - recorded, then failed
-                attempts.append(
-                    AttemptRecord(
-                        attempt=len(attempts),
-                        outcome="fallback-error",
-                        wall_time=time.perf_counter() - t0,
-                        pid=os.getpid(),
-                        error=f"{type(exc).__name__}: {exc}",
+            if patterns is not None:
+                status = "ok"
+            elif config.fallback == "serial" and task.fallback is not None:
+                t0 = time.perf_counter()
+                try:
+                    with obs_trace.span("unit.fallback", unit=task.index):
+                        faults.fire(SITE_FALLBACK, unit=task.index)
+                        patterns = task.fallback()
+                except Exception as exc:  # noqa: BLE001 - recorded, failed
+                    attempts.append(
+                        AttemptRecord(
+                            attempt=len(attempts),
+                            outcome="fallback-error",
+                            wall_time=time.perf_counter() - t0,
+                            pid=os.getpid(),
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     )
-                )
-                status = "failed"
+                    status = "failed"
+                else:
+                    attempts.append(
+                        AttemptRecord(
+                            attempt=len(attempts),
+                            outcome="fallback-serial",
+                            wall_time=time.perf_counter() - t0,
+                            pid=os.getpid(),
+                        )
+                    )
+                    status = "degraded"
             else:
-                attempts.append(
-                    AttemptRecord(
-                        attempt=len(attempts),
-                        outcome="fallback-serial",
-                        wall_time=time.perf_counter() - t0,
-                        pid=os.getpid(),
-                    )
-                )
-                status = "degraded"
-        else:
-            status = "failed"
+                status = "failed"
 
-        record = UnitRecord(
-            unit=task.index,
-            status=status,
-            attempts=attempts,
-            wall_time=time.perf_counter() - start,
-            patterns=None if patterns is None else len(patterns),
-        )
-        if patterns is not None:
-            if checkpoint is not None:
-                checkpoint.save(
-                    task.index,
-                    patterns,
-                    meta={"status": status, **task.checkpoint_meta},
-                )
-            if on_unit_complete is not None:
-                on_unit_complete(task.index, patterns, record)
+            unit_span.set_attrs(
+                status=status, attempts=len(attempts),
+                patterns=None if patterns is None else len(patterns),
+            )
+            if status == "failed":
+                unit_span.set_status("error", "unit failed")
+            obs_metrics.count_unit_status(status)
+
+            record = UnitRecord(
+                unit=task.index,
+                status=status,
+                attempts=attempts,
+                wall_time=time.perf_counter() - start,
+                patterns=None if patterns is None else len(patterns),
+            )
+            if patterns is not None:
+                if checkpoint is not None:
+                    with obs_trace.span(
+                        "unit.checkpoint_save", unit=task.index
+                    ):
+                        checkpoint.save(
+                            task.index,
+                            patterns,
+                            meta={"status": status, **task.checkpoint_meta},
+                        )
+                if on_unit_complete is not None:
+                    on_unit_complete(task.index, patterns, record)
         return patterns, record
 
     # ------------------------------------------------------------------
@@ -357,6 +397,20 @@ class MiningRuntime:
         """Run one attempt in a fresh worker process."""
         config = self.config
         start = time.perf_counter()
+        with obs_trace.span(
+            "unit.attempt", unit=task.index, attempt=attempt
+        ) as attempt_span:
+            record, patterns = self._attempt_inner(task, attempt, start)
+            attempt_span.set_attr("outcome", record.outcome)
+            if record.outcome != "ok":
+                attempt_span.set_status("error", record.error or record.outcome)
+            obs_metrics.count_runtime_attempt(record.outcome)
+        return record, patterns
+
+    def _attempt_inner(
+        self, task: UnitTask, attempt: int, start: float
+    ) -> tuple[AttemptRecord, PatternSet | None]:
+        config = self.config
         try:
             faults.fire(
                 SITE_WORKER_START, unit=task.index, attempt=attempt
@@ -372,11 +426,18 @@ class MiningRuntime:
                 ),
                 None,
             )
+        # Traced runs hand the trace id + this attempt span to the child
+        # so worker-side spans join the same tree; untraced payloads are
+        # byte-identical to the pre-obs protocol.
+        payload = task.payload
+        handoff = obs_trace.current_handoff()
+        if handoff is not None and isinstance(payload, dict):
+            payload = dict(payload, obs_trace=handoff)
         ctx = multiprocessing.get_context(config.start_method)
         recv, send = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_child_main,
-            args=(self.worker, task.payload, attempt, send),
+            args=(self.worker, payload, attempt, send),
             daemon=True,
         )
         proc.start()
@@ -384,6 +445,7 @@ class MiningRuntime:
 
         outcome = error = None
         raw = None
+        child_spans: list[dict] = []
         try:
             if recv.poll(config.unit_timeout):
                 try:
@@ -394,6 +456,8 @@ class MiningRuntime:
                     outcome, error = "crash", "worker died without a report"
                 elif message[0] == "ok":
                     raw = message[1]
+                    if len(message) > 2 and isinstance(message[2], list):
+                        child_spans = message[2]
                 else:
                     outcome, error = "error", message[1]
             else:
@@ -410,6 +474,11 @@ class MiningRuntime:
             else:
                 proc.join()
             recv.close()
+
+        if child_spans:
+            tracer = obs_trace.active()
+            if tracer is not None:
+                tracer.adopt(child_spans)
 
         patterns = None
         if raw is not None:

@@ -82,6 +82,11 @@ class RunTelemetry:
     engine's work totals, see
     :meth:`repro.serve.PatternService.attach_telemetry`); empty when no
     service was involved.
+
+    ``trace`` is a *pointer* into the observability subsystem, not a
+    replacement by it: when the run was traced it holds the trace id,
+    the trace-file path and the sink's written/dropped counts (see
+    :mod:`repro.obs`); empty for untraced runs.
     """
 
     units: list[UnitRecord] = field(default_factory=list)
@@ -89,6 +94,7 @@ class RunTelemetry:
     total_wall_time: float = 0.0
     perf: dict = field(default_factory=dict)
     serving: dict = field(default_factory=dict)
+    trace: dict = field(default_factory=dict)
 
     def unit(self, index: int) -> UnitRecord:
         for record in self.units:
@@ -137,6 +143,7 @@ class RunTelemetry:
             "total_wall_time": self.total_wall_time,
             "perf": self.perf,
             "serving": self.serving,
+            "trace": self.trace,
             "units": [asdict(record) for record in self.units],
         }
 
@@ -162,6 +169,7 @@ class RunTelemetry:
             total_wall_time=data.get("total_wall_time", 0.0),
             perf=data.get("perf", {}),
             serving=data.get("serving", {}),
+            trace=data.get("trace", {}),
         )
 
     def save(self, path: str | Path) -> None:

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .. import perf
+from ..obs import metrics as obs_metrics
 from ..graph.canonical import canonical_code
 from ..graph.database import GraphDatabase
 from ..graph.isomorphism import subgraph_exists
@@ -246,8 +247,7 @@ class QueryEngine:
             if cached is not None:
                 stats.lru_hit = True
                 stats.elapsed = time.perf_counter() - start
-                with self._lock:
-                    self.totals.record(stats)
+                self._record_query(stats)
                 return MatchAnswer(gids=cached, stats=stats)
 
         live_gids = set(self.database.gids())
@@ -279,8 +279,7 @@ class QueryEngine:
         if lru_key is not None:
             self._lru_put(lru_key, answer)
         stats.elapsed = time.perf_counter() - start
-        with self._lock:
-            self.totals.record(stats)
+        self._record_query(stats)
         return MatchAnswer(gids=answer, stats=stats)
 
     def relocate(
@@ -347,8 +346,7 @@ class QueryEngine:
             if cached is not None:
                 stats.lru_hit = True
                 stats.elapsed = time.perf_counter() - start
-                with self._lock:
-                    self.totals.record(stats)
+                self._record_query(stats)
                 return ContainsAnswer(pids=cached, stats=stats)
 
         pids = self._graph_hits(
@@ -358,9 +356,16 @@ class QueryEngine:
         if lru_key is not None:
             self._lru_put(lru_key, answer)
         stats.elapsed = time.perf_counter() - start
+        self._record_query(stats)
+        return ContainsAnswer(pids=answer, stats=stats)
+
+    def _record_query(self, stats: QueryStats) -> None:
+        """Fold one finished query into the totals and the obs registry."""
         with self._lock:
             self.totals.record(stats)
-        return ContainsAnswer(pids=answer, stats=stats)
+        obs_metrics.observe_query(
+            stats.kind, stats.elapsed, stats.searches, stats.lru_hit
+        )
 
     def _graph_hits(
         self,
@@ -433,8 +438,7 @@ class QueryEngine:
         else:
             stats.lru_hit = True
         stats.elapsed = time.perf_counter() - start
-        with self._lock:
-            self.totals.record(stats)
+        self._record_query(stats)
         covered = set(cached)
         if not len(self.database):
             return 0.0, covered

@@ -12,6 +12,10 @@ through a small stdlib-only HTTP API:
 ``/reload``           POST    hot-reload if the catalog advanced
 ====================  ======  ==========================================
 
+``/metrics``          GET     Prometheus text exposition of the obs
+                              metrics registry (query latency histograms,
+                              cache counters, breaker/memory gauges)
+
 ``GRAPH`` is the store wire format: ``{"vertices": [labels], "edges":
 [[u, v, label], ...]}``.  Every query response carries the snapshot
 ``version`` it was answered from, which is what the no-torn-reads test
@@ -50,6 +54,7 @@ from urllib.parse import parse_qs, urlparse
 
 from ..graph.database import GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import metrics as obs_metrics
 from ..resilience import faults
 from ..resilience.errors import CircuitOpen, DeadlineExceeded
 from ..resilience.health import CircuitBreaker, Deadline, MemoryWatermark
@@ -61,6 +66,18 @@ SITE_REQUEST = faults.register_site(
 )
 SITE_RELOAD = faults.register_site(
     "serve.reload", "catalog snapshot reload in PatternService"
+)
+SITE_METRICS_SCRAPE = faults.register_site(
+    "obs.metrics_scrape", "/metrics rendering in PatternService"
+)
+
+#: Routes kept as-is in the ``route`` label; everything else is "other"
+#: so a 404 scan cannot explode the label space.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/healthz", "/readyz", "/stats", "/patterns", "/metrics",
+        "/reload", "/query/match", "/query/contains",
+    }
 )
 
 
@@ -591,6 +608,38 @@ class PatternService:
             ],
         }
 
+    def metrics_payload(self) -> str:
+        """The Prometheus text page for ``/metrics``.
+
+        Pull-model export: scrape time is when the health gauges
+        (breaker states, memory watermark) and service-stat gauges are
+        refreshed into the registry, then the whole registry renders.
+        """
+        faults.fire(SITE_METRICS_SCRAPE)
+        registry = obs_metrics.registry()
+        for breaker in self.breakers.values():
+            breaker.export_gauges()
+        self.watermark.export_gauges()
+        snapshot_version = self._engine.snapshot.version
+        registry.gauge(
+            "repro_serve_snapshot_version",
+            "Catalog snapshot version currently served",
+        ).set(snapshot_version)
+        registry.gauge(
+            "repro_serve_patterns",
+            "Patterns in the served catalog snapshot",
+        ).set(len(self._engine.snapshot.entries))
+        stats_gauges = self.stats()
+        family = registry.gauge(
+            "repro_serve_service_stat",
+            "PatternService lifetime counters, by stat name",
+            labels=("stat",),
+        )
+        for name, value in stats_gauges.items():
+            if isinstance(value, (int, float)):
+                family.labels(stat=name).set(value)
+        return registry.render_prometheus()
+
     def telemetry_digest(self) -> dict:
         """Serving digest for :class:`repro.runtime.RunTelemetry.serving`."""
         return {
@@ -629,6 +678,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self.service._stats["errors"] += 1
             if rejected:
                 self.service._stats["rejected"] += 1
+        route = urlparse(self.path).path
+        obs_metrics.count_http_request(
+            route if route in _KNOWN_ROUTES else "other",
+            "error" if error else ("rejected" if rejected else "ok"),
+        )
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -659,6 +722,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                         "service": service.stats(),
                         "engine": service.engine.stats_dict(),
                     },
+                )
+            elif parsed.path == "/metrics":
+                self._count()
+                self._send_text(
+                    200,
+                    service.metrics_payload(),
+                    "text/plain; version=0.0.4; charset=utf-8",
                 )
             elif parsed.path == "/patterns":
                 self._count()

@@ -31,7 +31,9 @@ from repro.graph.io import GraphParseError
 from repro.mining.gspan import GSpanMiner
 from repro.mining.store import dump_patterns, read_patterns, save_patterns
 from repro.partition.dbpartition import db_partition
-from repro.core.partminer import resolve_unit_threshold
+from repro.core.partminer import PartMiner, resolve_unit_threshold
+from repro.obs import EventSink, Tracer, load_events
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 from repro.resilience.errors import (
     ArtifactCorrupt,
@@ -68,6 +70,14 @@ def pattern_text(patterns):
     buffer = io.StringIO()
     dump_patterns(patterns, buffer)
     return buffer.getvalue()
+
+
+def http_text(url, timeout=10):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
 
 
 def http_json(url, payload=None, timeout=10):
@@ -272,6 +282,53 @@ def scenario_serve_reload(tmp_path, plan):
         assert after == baseline
 
 
+def scenario_obs_sink_write(tmp_path, plan):
+    db = random_database(seed=3900 + SEED, num_graphs=8, n=5, extra_edges=1)
+    baseline = pattern_text(PartMiner(k=2).mine(db, 3).patterns)
+
+    path = tmp_path / "trace.jsonl"
+    sink = EventSink(path, batch=1)  # batch=1: every span is a write
+    tracer = Tracer(on_record=sink.emit)
+    with plan.active():
+        # The flusher appends while the plan is armed; whatever happens
+        # to the trace file, the mining call must not notice.
+        with obs_trace.tracing(tracer):
+            result = PartMiner(k=2).mine(db, 3)
+        stats = sink.close()
+    assert pattern_text(result.patterns) == baseline
+    if stats["broken"] is not None:
+        # Write failure: the sink latched broken and dropped the rest —
+        # it never re-raised into the miner.
+        assert stats["dropped_events"] > 0
+    else:
+        # The write "succeeded" but bytes may be mangled in flight: the
+        # strict reader returns real spans or detects the damage.
+        try:
+            events = load_events(path, require=True)
+        except ArtifactCorrupt as exc:
+            assert exit_code_for(exc) == 3
+        else:
+            assert any(e.get("event") == "span" for e in events)
+
+
+def scenario_obs_metrics_scrape(tmp_path, plan):
+    catalog, db = _published(tmp_path)
+    with PatternService(catalog, db) as service:
+        metrics_url = service.base_url + "/metrics"
+        status, page = http_text(metrics_url)
+        assert status == 200 and "repro_serve_patterns" in page
+        _, patterns_baseline = http_json(service.base_url + "/patterns")
+        with plan.active():
+            status, page = http_text(metrics_url)
+            assert status == 200 or "error" in page
+        # The fault is spent: scrapes answer again and served data is
+        # exactly what it was before.
+        status, page = http_text(metrics_url)
+        assert status == 200 and "repro_serve_patterns" in page
+        _, after = http_json(service.base_url + "/patterns")
+        assert after == patterns_baseline
+
+
 def _published(tmp_path):
     db = random_database(seed=3800 + SEED, num_graphs=6, n=5)
     patterns = GSpanMiner().mine(db, 3)
@@ -290,11 +347,13 @@ SCENARIOS = {
     "cli.run": scenario_cli_run,
     "serve.request": scenario_serve_request,
     "serve.reload": scenario_serve_reload,
+    "obs.sink_write": scenario_obs_sink_write,
+    "obs.metrics_scrape": scenario_obs_metrics_scrape,
 }
 
 #: Sites whose hook passes bytes through ``mangle`` — they additionally
 #: run the corruption arms, not just the exception arm.
-BYTE_SITES = {"artifact.write", "artifact.read"}
+BYTE_SITES = {"artifact.write", "artifact.read", "obs.sink_write"}
 
 
 def test_every_registered_site_has_a_scenario():

@@ -1,0 +1,206 @@
+"""Tests for the async bounded-queue event sink (repro.obs.sink).
+
+The contract under test: ``emit`` never blocks and never raises, every
+event is either written or counted as dropped (no silent loss), a write
+failure breaks the sink without touching the emitting thread, and a
+cleanly closed file carries a verifiable integrity footer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import EventSink, load_events
+from repro.obs.sink import SITE_SINK_WRITE  # noqa: F401  (site exists)
+from repro.resilience.errors import ArtifactCorrupt
+from repro.resilience.faults import FaultPlan
+
+JSON_VALUES = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=8,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_events_round_trip_with_footer(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = EventSink(path)
+        events = [{"event": "e", "i": i} for i in range(10)]
+        for event in events:
+            assert sink.emit(event)
+        stats = sink.close()
+        assert stats["dropped_events"] == 0
+        assert stats["broken"] is None
+
+        loaded = load_events(path, require=True)
+        assert loaded[:-1] == events
+        tail = loaded[-1]
+        assert tail["event"] == "sink_stats"
+        assert tail["written_events"] == stats["written_events"]
+        assert len(loaded) == stats["written_events"]
+
+    def test_close_is_idempotent_and_emit_after_close_drops(
+        self, tmp_path
+    ):
+        sink = EventSink(tmp_path / "e.jsonl")
+        sink.emit({"a": 1})
+        first = sink.close()
+        assert not sink.emit({"a": 2})
+        second = sink.close()
+        assert second["written_events"] == first["written_events"]
+        assert second["dropped_events"] == 1
+
+    def test_never_started_sink_flushes_on_close(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = EventSink(path, start=False)
+        for i in range(5):
+            sink.emit({"i": i})
+        stats = sink.close()
+        assert stats["written_events"] == 5 + 1  # + sink_stats
+        assert [e["i"] for e in load_events(path)[:-1]] == list(range(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=st.lists(JSON_VALUES, max_size=10))
+    def test_arbitrary_json_payloads_round_trip(
+        self, events, tmp_path_factory
+    ):
+        """Property: anything JSON-representable survives the file."""
+        # tmp_path_factory, not tmp_path: hypothesis reuses the fixture
+        # across generated examples and each needs a fresh file.
+        path = tmp_path_factory.mktemp("sink_prop") / "prop.jsonl"
+        sink = EventSink(path, start=False)
+        wrapped = [{"payload": e} for e in events]
+        for event in wrapped:
+            sink.emit(event)
+        sink.close()
+        loaded = load_events(path, require=True)
+        assert loaded[:-1] == wrapped
+
+
+# ----------------------------------------------------------------------
+# Dropping
+# ----------------------------------------------------------------------
+class TestDropPolicy:
+    def test_full_queue_drops_and_counts(self, tmp_path):
+        sink = EventSink(tmp_path / "e.jsonl", maxsize=3, start=False)
+        results = [sink.emit({"i": i}) for i in range(10)]
+        assert results.count(True) == 3
+        assert sink.dropped_events == 7
+        stats = sink.close()
+        assert stats["dropped_events"] == 7
+        assert stats["written_events"] == 3 + 1
+
+    def test_dropped_counter_lands_in_registry(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        counter = obs_metrics.registry().counter(
+            "repro_obs_dropped_events_total"
+        )
+        before = counter.value
+        sink = EventSink(tmp_path / "e.jsonl", maxsize=1, start=False)
+        sink.emit({"i": 0})
+        sink.emit({"i": 1})  # dropped
+        assert counter.value == before + 1
+        sink.close()
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def test_concurrent_emit_hammering(tmp_path):
+    """Many threads emit against a live flusher; nothing is lost silently:
+    written + dropped equals exactly what was sent, and the file parses
+    with a valid footer."""
+    path = tmp_path / "hammer.jsonl"
+    sink = EventSink(path, maxsize=256, batch=32)
+    threads = 8
+    per_thread = 500
+    barrier = threading.Barrier(threads)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(per_thread):
+            sink.emit({"tid": tid, "i": i})
+
+    pool = [
+        threading.Thread(target=worker, args=(t,)) for t in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    stats = sink.close()
+
+    sent = threads * per_thread
+    assert stats["broken"] is None
+    # +1: the sink_stats line the seal appends.
+    assert stats["written_events"] + stats["dropped_events"] == sent + 1
+    events = load_events(path, require=True)
+    assert len(events) == stats["written_events"]
+    payload = [e for e in events if e.get("event") != "sink_stats"]
+    # Per-thread order is preserved even across interleaved batches.
+    by_tid: dict[int, list[int]] = {}
+    for e in payload:
+        by_tid.setdefault(e["tid"], []).append(e["i"])
+    for seq in by_tid.values():
+        assert seq == sorted(seq)
+
+
+# ----------------------------------------------------------------------
+# Failure behaviour
+# ----------------------------------------------------------------------
+class TestFailure:
+    def test_write_fault_breaks_sink_without_raising(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = EventSink(path, start=False)
+        sink.emit({"i": 0})
+        plan = FaultPlan(seed=0)
+        plan.inject("obs.sink_write", times=1)
+        with plan.active():
+            stats = sink.close()  # flush happens here; never raises
+        assert plan.fired
+        assert stats["broken"] is not None
+        assert stats["written_events"] == 0
+        assert stats["dropped_events"] == 1
+        # Broken sink: no footer was sealed.
+        with pytest.raises(ArtifactCorrupt):
+            load_events(path, require=True)
+        assert load_events(path, require=False) == []
+
+    def test_injected_corruption_is_detected_at_read_time(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = EventSink(path, start=False)
+        for i in range(4):
+            sink.emit({"i": i})
+        plan = FaultPlan(seed=1)
+        plan.inject("obs.sink_write", corrupt="flip", times=1)
+        with plan.active():
+            stats = sink.close()
+        assert any(f.kind == "corrupt" for f in plan.fired)
+        assert stats["broken"] is None  # the write itself "succeeded"
+        with pytest.raises(ArtifactCorrupt):
+            load_events(path, require=True)
+
+    def test_torn_tail_tolerated_without_footer(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"i": 0}) + "\n" + '{"i": 1, "trunc',
+            encoding="utf-8",
+        )
+        assert load_events(path, require=False) == [{"i": 0}]
+        with pytest.raises(ArtifactCorrupt):
+            load_events(path, require=True)

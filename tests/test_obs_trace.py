@@ -1,0 +1,271 @@
+"""Tests for tracing spans (repro.obs.trace) and the summarizer.
+
+The centerpiece is span-tree well-formedness under the parallel runtime:
+a traced ``PartMiner`` run with worker processes must produce a single
+tree — one root, zero orphans — whose unit/attempt/worker spans line up
+with the telemetry, even when workers are killed by fault injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.partminer import PartMiner
+from repro.obs import summarize_spans
+from repro.obs import trace as obs_trace
+from repro.obs.summarize import build_tree
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.resilience.faults import FaultPlan
+from repro.runtime import RuntimeConfig
+
+from .conftest import random_database
+
+
+def span_tree(tracer):
+    roots, orphans = build_tree(tracer.spans())
+    return roots, orphans
+
+
+# ----------------------------------------------------------------------
+# Core span mechanics
+# ----------------------------------------------------------------------
+class TestSpanBasics:
+    def test_nesting_parents_automatically(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert obs_trace.current_span_id() == outer.span_id
+        spans = {s["name"]: s for s in tracer.spans()}
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert all(s["trace_id"] == tracer.trace_id for s in spans.values())
+
+    def test_attrs_status_and_duration(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with obs.span("work", size=3) as node:
+                node.set_attr("extra", "x")
+                node.set_attrs(more=1)
+        (data,) = tracer.spans()
+        assert data["attrs"] == {"size": 3, "extra": "x", "more": 1}
+        assert data["status"] == "ok"
+        assert data["duration"] >= 0
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with pytest.raises(RuntimeError):
+                with obs.span("boom"):
+                    raise RuntimeError("no")
+        (data,) = tracer.spans()
+        assert data["status"] == "error"
+        assert "RuntimeError" in data["attrs"]["status_detail"]
+
+    def test_no_tracer_yields_null_span(self):
+        with obs.span("free") as node:
+            assert node is NULL_SPAN
+            node.set_attr("ignored", 1)  # must not raise
+
+    def test_kill_switch_yields_null_span(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with obs.disabled():
+                with obs.span("off") as node:
+                    assert node is NULL_SPAN
+        assert len(tracer) == 0
+
+    def test_explicit_parent_for_thread_handoff(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with obs.span("parent") as parent:
+                captured = parent.span_id
+            with obs.span("cross-thread", parent=captured):
+                pass
+        spans = {s["name"]: s for s in tracer.spans()}
+        assert spans["cross-thread"]["parent_id"] == captured
+
+    def test_begin_finish_manual_spans(self):
+        tracer = Tracer()
+        with obs_trace.tracing(tracer):
+            with obs.span("outer") as outer:
+                step = obs_trace.begin("step", n=1)
+                # begin() does NOT become the contextvar parent.
+                assert obs_trace.current_span_id() == outer.span_id
+                obs_trace.finish(step)
+        spans = {s["name"]: s for s in tracer.spans()}
+        assert spans["step"]["parent_id"] == spans["outer"]["span_id"]
+
+    def test_traced_decorator(self):
+        tracer = Tracer()
+
+        @obs_trace.traced("decorated", tag=7)
+        def work():
+            return 42
+
+        with obs_trace.tracing(tracer):
+            assert work() == 42
+        (data,) = tracer.spans()
+        assert data["name"] == "decorated"
+        assert data["attrs"] == {"tag": 7}
+
+    def test_span_dict_round_trip(self):
+        node = Span("x", "t1", None, {"a": 1})
+        node.end()
+        clone = Span.from_dict(node.to_dict())
+        assert clone.to_dict() == node.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Worker-process handoff
+# ----------------------------------------------------------------------
+class TestHandoff:
+    def test_handoff_round_trip_joins_parent_trace(self):
+        parent = Tracer()
+        with obs_trace.tracing(parent):
+            with obs.span("unit.attempt") as attempt:
+                handoff = obs_trace.current_handoff()
+                assert handoff == {
+                    "trace_id": parent.trace_id,
+                    "parent_id": attempt.span_id,
+                }
+        # Simulate the child process: fresh tracer from the handoff.
+        obs_trace.begin_in_child(handoff)
+        with obs.span("unit.worker"):
+            pass
+        child_spans = obs_trace.collect_child_spans()
+        assert obs_trace.active() is None
+        parent.adopt(child_spans)
+
+        roots, orphans = span_tree(parent)
+        assert not orphans
+        (root,) = roots
+        assert root["name"] == "unit.attempt"
+        assert root["children"][0]["name"] == "unit.worker"
+
+    def test_handoff_is_none_when_untraced(self):
+        assert obs_trace.current_handoff() is None
+        tracer = Tracer()
+        with obs_trace.tracing(tracer), obs.disabled():
+            assert obs_trace.current_handoff() is None
+
+    def test_adopt_rewrites_foreign_trace_ids(self):
+        tracer = Tracer(trace_id="mine")
+        tracer.adopt([{"name": "s", "trace_id": "theirs", "span_id": "1"}])
+        (data,) = tracer.spans()
+        assert data["trace_id"] == "mine"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the parallel runtime under a tracer
+# ----------------------------------------------------------------------
+def mine_traced(db, support=3, config=None):
+    tracer = Tracer()
+    with obs_trace.tracing(tracer):
+        result = PartMiner(
+            k=2,
+            parallel_units=True,
+            runtime=config or RuntimeConfig(max_workers=2),
+        ).mine(db, support)
+    return result, tracer
+
+
+class TestParallelRuntimeTree:
+    def test_tree_is_well_formed(self):
+        db = random_database(seed=4100, num_graphs=8, n=5, extra_edges=1)
+        result, tracer = mine_traced(db)
+
+        roots, orphans = span_tree(tracer)
+        assert orphans == []
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "partminer.mine"
+        phases = [c["name"] for c in root["children"]]
+        assert phases == [
+            "partminer.partition", "partminer.units", "partminer.merge",
+        ]
+
+        def collect(node, names):
+            names.append(node["name"])
+            for child in node["children"]:
+                collect(child, names)
+
+        names: list[str] = []
+        collect(root, names)
+        # One unit.mine per unit, each with an attempt, each attempt
+        # with the worker-process span adopted across the handoff.
+        assert names.count("unit.mine") == len(result.tree.units())
+        assert names.count("unit.attempt") >= names.count("unit.mine")
+        assert names.count("unit.worker") >= 1
+        assert names.count("merge.level") == len(result.merge_times)
+
+    def test_worker_spans_parent_to_their_attempt(self):
+        db = random_database(seed=4200, num_graphs=6, n=5)
+        _result, tracer = mine_traced(db)
+        spans = tracer.spans()
+        by_id = {s["span_id"]: s for s in spans}
+        workers = [s for s in spans if s["name"] == "unit.worker"]
+        assert workers
+        for worker in workers:
+            parent = by_id[worker["parent_id"]]
+            assert parent["name"] == "unit.attempt"
+            assert worker["trace_id"] == tracer.trace_id
+
+    def test_crashed_worker_leaves_no_orphans(self):
+        db = random_database(seed=4300, num_graphs=8, n=5, extra_edges=1)
+        baseline, _ = mine_traced(db)
+
+        plan = FaultPlan(seed=0)
+        plan.inject("runtime.worker_start", OSError("lost"), times=1)
+        with plan.active():
+            result, tracer = mine_traced(
+                db,
+                config=RuntimeConfig(max_workers=1, max_retries=2),
+            )
+        assert plan.fired
+
+        roots, orphans = span_tree(tracer)
+        assert orphans == []
+        assert len(roots) == 1
+        # The failed attempt is in the tree, marked, and the retry
+        # recovered the exact baseline patterns.
+        attempts = [
+            s for s in tracer.spans() if s["name"] == "unit.attempt"
+        ]
+        assert any(s["status"] == "error" for s in attempts)
+        assert result.patterns.keys() == baseline.patterns.keys()
+
+    def test_untraced_parallel_run_records_nothing(self):
+        db = random_database(seed=4400, num_graphs=6, n=5)
+        result = PartMiner(
+            k=2, parallel_units=True,
+            runtime=RuntimeConfig(max_workers=2),
+        ).mine(db, 3)
+        assert obs_trace.active() is None
+        assert len(result.patterns) > 0
+
+
+# ----------------------------------------------------------------------
+# Summarizer
+# ----------------------------------------------------------------------
+class TestSummarize:
+    def test_renders_tree_with_counts(self):
+        db = random_database(seed=4500, num_graphs=6, n=5)
+        _result, tracer = mine_traced(db)
+        text = summarize_spans(tracer.spans())
+        assert "partminer.mine" in text
+        assert "unit.attempt" in text
+        assert "0 orphan(s)" in text
+        assert "1 root(s)" in text
+
+    def test_orphans_are_reported_not_lost(self):
+        spans = [
+            {"name": "lonely", "span_id": "a", "parent_id": "ghost",
+             "trace_id": "t", "start_time": 0.0, "duration": 0.1,
+             "status": "ok", "attrs": {}},
+        ]
+        text = summarize_spans(spans)
+        assert "(orphans)" in text
+        assert "1 orphan(s)" in text
