@@ -13,6 +13,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -36,6 +37,25 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 STATIC_SMALL = "D120T12N15L30I5"
 STATIC_LARGE = "D150T12N15L30I5"
 SCALE_BASE = "D100T12N15L30I5"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="scale bench workloads down (fewer update batches and "
+        "recount passes) for CI smoke runs; gates loosen accordingly",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when ``--quick`` (or ``REPRO_BENCH_QUICK=1``) is in effect."""
+    return bool(
+        request.config.getoption("--quick")
+        or os.environ.get("REPRO_BENCH_QUICK")
+    )
 
 
 @pytest.fixture(scope="session")

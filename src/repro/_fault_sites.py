@@ -9,6 +9,7 @@ sync with the Failure model table in DESIGN.md §10.
 from . import cli  # noqa: F401  "cli.run" site
 from .graph import io  # noqa: F401  "graph.parse" site
 from .obs import sink  # noqa: F401  "obs.sink_write" site
+from .perf import flatgraph  # noqa: F401  "perf.shm_attach" site
 from .resilience import integrity  # noqa: F401  artifact.read/write sites
 from .runtime import engine  # noqa: F401  runtime.* sites
 from .serve import service  # noqa: F401  serve.* sites

@@ -133,6 +133,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 max_workers=args.workers,
                 unit_timeout=args.unit_timeout,
                 max_retries=args.retries,
+                shared_db=not args.no_shared_db,
             )
         trace_sink = None
         trace_id = None
@@ -498,8 +499,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-accel", action="store_true",
         help="disable the support-counting acceleration layer "
-             "(match plans, fingerprints, support cache); equivalent to "
-             "setting REPRO_NO_ACCEL=1",
+             "(match plans, fingerprints, support cache, flat-array "
+             "kernels, join-bound pruning, shared-memory payloads); "
+             "equivalent to setting REPRO_NO_ACCEL=1",
+    )
+    parser.add_argument(
+        "--no-flat", action="store_true",
+        help="keep the acceleration layer but disable the flat-array "
+             "matching kernels (plans-only mode); equivalent to "
+             "setting REPRO_NO_FLAT=1",
     )
     parser.add_argument(
         "--no-obs", action="store_true",
@@ -546,6 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-attempt wall-clock timeout in seconds")
     p.add_argument("--retries", type=int, default=2,
                    help="retries per unit before serial fallback")
+    p.add_argument("--no-shared-db", action="store_true",
+                   help="ship pickled graph lists to unit workers instead "
+                        "of mapping a shared-memory flat-database segment")
     p.add_argument("--run-dir", default=None,
                    help="checkpoint directory; re-running with the same "
                         "directory resumes, skipping finished units")
@@ -679,6 +690,10 @@ def main(argv: list[str] | None = None) -> int:
         from . import perf
 
         perf.set_enabled(False)
+    if args.no_flat:
+        from . import perf
+
+        perf.set_flat_enabled(False)
     if args.no_obs:
         from . import obs
 

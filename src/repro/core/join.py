@@ -73,6 +73,10 @@ class SupportCounter:
     ) -> None:
         self.database = database
         self.cache = cache
+        # Flat-array kernels: compile the level dataset once (cached on
+        # the database instance, version-validated); every existence
+        # check below then runs on CSR int arrays instead of dict rows.
+        self._flat = perf.get_flat_db(database) if perf.flat_enabled() else None
         self._triple_index: dict[EdgeTriple, set[int]] = {}
         for gid, graph in database:
             for u, v, elabel in graph.edges():
@@ -104,15 +108,37 @@ class SupportCounter:
         if candidates is None:
             return set()
         if candidates and perf.enabled():
-            profile = perf.get_match_plan(pattern).profile
-            database = self.database
-            admitted = set()
-            for gid in candidates:
-                if perf.get_fingerprint(database[gid]).admits(profile):
-                    admitted.add(gid)
-                else:
-                    self.fingerprint_rejects += 1
-            candidates = admitted
+            flat = self._flat if perf.flat_enabled() else None
+            if flat is not None:
+                # Integer-space admit over the precompiled invariants;
+                # counters are flushed in bulk, not per candidate.
+                plan = perf.get_flat_plan(pattern)
+                quick = finger = 0
+                admitted = set()
+                for gid in candidates:
+                    reason = perf.flat_admits(plan, flat.get(gid))
+                    if reason == perf.ADMIT:
+                        admitted.add(gid)
+                    elif reason == perf.REJECT_QUICK:
+                        quick += 1
+                    else:
+                        finger += 1
+                self.fingerprint_rejects += quick + finger
+                if quick:
+                    COUNTERS.inc("quick_rejects", quick)
+                if finger:
+                    COUNTERS.inc("fingerprint_rejects", finger)
+                candidates = admitted
+            else:
+                profile = perf.get_match_plan(pattern).profile
+                database = self.database
+                admitted = set()
+                for gid in candidates:
+                    if perf.get_fingerprint(database[gid]).admits(profile):
+                        admitted.add(gid)
+                    else:
+                        self.fingerprint_rejects += 1
+                candidates = admitted
         return candidates
 
     def count(
@@ -144,6 +170,12 @@ class SupportCounter:
             except ValueError:  # disconnected/empty: not cacheable
                 use_cache = False
         database = self.database
+        flat = self._flat if perf.flat_enabled() else None
+        flat_plan = (
+            perf.get_flat_plan(pattern) if flat is not None and untested
+            else None
+        )
+        flat_searched = 0
         for gid in untested:
             graph = database[gid]
             if use_cache:
@@ -155,13 +187,23 @@ class SupportCounter:
                     continue
                 self.cache_misses += 1
             self.isomorphism_tests += 1
-            before = COUNTERS.vf2_calls
-            hit = subgraph_exists(pattern, graph)
-            self.vf2_tests += COUNTERS.vf2_calls - before
+            if flat_plan is not None:
+                # candidate_gids already applied the flat admit, so go
+                # straight into the search (always entered: count 1).
+                hit = perf.flat_exists(flat_plan, flat.get(gid), count=False)
+                flat_searched += 1
+                self.vf2_tests += 1
+            else:
+                before = COUNTERS.vf2_calls
+                hit = subgraph_exists(pattern, graph)
+                self.vf2_tests += COUNTERS.vf2_calls - before
             if use_cache:
                 cache.put(key, graph, hit)
             if hit:
                 supporting.add(gid)
+        if flat_searched:
+            COUNTERS.inc("vf2_calls", flat_searched)
+            COUNTERS.inc("flat_searches", flat_searched)
         if use_cache:
             # Child-level TIDs are sound positives at this level too (the
             # piece embeds in the level graph); memoize them so ancestor
@@ -204,6 +246,7 @@ def join_patterns(
     left: Iterable[Pattern],
     right: Iterable[Pattern],
     seen: set[PatternKey] | None = None,
+    min_bound: int = 0,
 ) -> dict[PatternKey, tuple[LabeledGraph, frozenset[int]]]:
     """All ``(k+1)``-edge join candidates of two ``k``-edge pattern sets.
 
@@ -217,6 +260,15 @@ def join_patterns(
     a candidate's level support is a subset of *every* generating pair's
     intersection (a supergraph is supported only where both generators
     are), so any one bound is sound for restricted support counting.
+
+    ``min_bound`` applies the candidate-count upper bound of Geerts,
+    Goethals & Van den Bussche (cs/0112007), transferred to TID space:
+    a core-compatible pair whose TID intersection falls below it cannot
+    generate a candidate whose support reaches it, so the pair's
+    overlays are skipped **before** any canonicalization.  Sound only
+    when the inputs carry level-exact TIDs and every pattern of the
+    level is present on some input side (merge_join guarantees both);
+    the default 0 disables the prune.
     """
     seen = seen if seen is not None else set()
     left_list = list(left)
@@ -262,6 +314,12 @@ def join_patterns(
                     pair_bounds[(i, j)] = bound
                 if not bound:
                     continue  # both generators never co-occur
+                if len(bound) < min_bound:
+                    # cs/0112007 bound: a frequent candidate's support is
+                    # contained in EVERY generating pair's intersection,
+                    # so this pair cannot contribute one.
+                    COUNTERS.inc("join_pairs_pruned")
+                    continue
                 for candidate in overlay_candidates(
                     left_core,
                     right_core,

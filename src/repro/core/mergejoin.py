@@ -24,11 +24,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .. import obs
+from .. import obs, perf
 from ..graph.database import GraphDatabase
 from ..mining.base import Pattern, PatternKey, PatternSet
 from ..mining.edges import frequent_edges
-from .join import SupportCounter, join_patterns, pattern_edge_triples
+from ..obs import metrics as obs_metrics
+from ..perf.counters import COUNTERS
+from .join import (
+    SupportCounter,
+    cached_deletion_cores,
+    join_patterns,
+    pattern_edge_triples,
+)
 
 
 @dataclass
@@ -54,6 +61,8 @@ class MergeJoinStats:
     support_cache_misses: int = 0
     rounds: int = 0
     known_reused: int = 0
+    join_levels_skipped: int = 0  # levels the cs/0112007 bound proved hopeless
+    join_pairs_pruned: int = 0  # generator pairs skipped by the TID bound
     extras: dict = field(default_factory=dict)
 
 
@@ -159,12 +168,63 @@ def merge_join(
             if evaluated[key].support >= threshold:
                 result.add(evaluated[key])
 
+    # The cs/0112007 candidate upper bound, transferred to TID space: a
+    # join candidate's level support is contained in every generating
+    # pair's TID intersection, so inputs below threshold, pairs whose
+    # intersection is below threshold, and whole levels where no
+    # core-compatible pair can reach it are all provably fruitless.
+    # Applied only on fresh (non-incremental) merges with the
+    # acceleration layer on — `--no-accel` restores the paper-pure path.
+    use_bound = known is None and perf.enabled()
+
     def side_patterns(side_index: int, size: int) -> list[Pattern]:
         return [
             evaluated[key]
             for key, pattern in carried.items()
-            if pattern.size == size and side_index in sides[key]
+            if pattern.size == size
+            and side_index in sides[key]
+            and not (use_bound and evaluated[key].support < threshold)
         ]
+
+    def core_tid_maxima(patterns: list[Pattern]) -> dict:
+        """Per deletion-core key, the largest TID-list size among owners."""
+        maxima: dict = {}
+        for pattern in patterns:
+            count = len(pattern.tids)
+            for core in cached_deletion_cores(pattern)[1]:
+                if maxima.get(core.core_key, -1) < count:
+                    maxima[core.core_key] = count
+        return maxima
+
+    def level_hopeless(join_inputs: list) -> bool:
+        """True if no join combination can produce a frequent candidate.
+
+        For every shared core key, ``min(max |tids| left, max |tids|
+        right)`` bounds every core-compatible pair's TID intersection
+        from above; if no shared core reaches the threshold in any
+        combination, every candidate of the level is provably
+        infrequent.
+        """
+        maxima_cache: dict[int, dict] = {}
+
+        def maxima(patterns: list[Pattern]) -> dict:
+            cached = maxima_cache.get(id(patterns))
+            if cached is None:
+                cached = maxima_cache[id(patterns)] = core_tid_maxima(
+                    patterns
+                )
+            return cached
+
+        for a, b in join_inputs:
+            a_max, b_max = maxima(a), maxima(b)
+            if len(b_max) < len(a_max):
+                a_max, b_max = b_max, a_max
+            for core_key, count_a in a_max.items():
+                if count_a < threshold:
+                    continue
+                if b_max.get(core_key, -1) >= threshold:
+                    return False
+        return True
 
     # Level-wise join loop (Fig 11 lines 4-14).  F holds the spanning
     # patterns discovered at this level, by size.
@@ -187,13 +247,42 @@ def merge_join(
                 # combination at higher sizes is the completeness fix.
                 join_inputs.append((left_k, right_k))
 
+            if use_bound and level_hopeless(join_inputs):
+                stats.rounds += 1
+                stats.join_levels_skipped += 1
+                COUNTERS.inc("join_levels_skipped")
+                obs_metrics.count_merge_level("skipped")
+                # The soundness test replays skipped levels without the
+                # bound and asserts they contain zero frequent patterns.
+                stats.extras.setdefault("skipped_join_levels", []).append(
+                    {
+                        "size": size,
+                        "threshold": threshold,
+                        "inputs": [
+                            (list(a), list(b)) for a, b in join_inputs
+                        ],
+                    }
+                )
+                round_span.set_attrs(
+                    candidates=0, frequent=0, bound_skipped=True
+                )
+                size += 1
+                continue
+            obs_metrics.count_merge_level("joined")
+
             seen = set(evaluated)
             candidates: dict[PatternKey, tuple] = {}
+            min_bound = threshold if use_bound else 0
+            pruned_before = COUNTERS.join_pairs_pruned
             for a, b in join_inputs:
-                for key, (graph, bound) in join_patterns(a, b, seen).items():
+                joined = join_patterns(a, b, seen, min_bound=min_bound)
+                for key, (graph, bound) in joined.items():
                     # First-found bound kept: every generating pair's TID
                     # intersection is a sound support bound on its own.
                     candidates.setdefault(key, (graph, bound))
+            stats.join_pairs_pruned += (
+                COUNTERS.join_pairs_pruned - pruned_before
+            )
 
             stats.rounds += 1
             stats.candidates_generated += len(candidates)

@@ -267,15 +267,79 @@ def count_support(
             key = canonical_code(pattern)
         except ValueError:  # empty or disconnected pattern: no canonical key
             use_cache = False
+    # Flat kernels: compile the database once (instance-cached), then run
+    # every existence check as an integer-space admit + flat-array
+    # search.  Counters are tallied locally and flushed once — no lock
+    # acquisitions inside the scan loop.
+    flat = flat_plan = None
+    if perf.flat_enabled() and pattern.num_vertices > 0:
+        flat = perf.get_flat_db(database)
+        flat_plan = perf.get_flat_plan(pattern)
+    quick = finger = searched = 0
     supporting: set[int] = set()
-    for gid, graph in items:
-        if use_cache:
-            verdict = cache.get(key, graph, induced=induced)
-            if verdict is None:
-                verdict = subgraph_exists(pattern, graph, induced=induced)
-                cache.put(key, graph, verdict, induced=induced)
-        else:
-            verdict = subgraph_exists(pattern, graph, induced=induced)
-        if verdict:
-            supporting.add(gid)
+
+    if flat_plan is not None and not use_cache:
+        # The recount/throughput hot loop: no cache probes, no closure
+        # dispatch — just admit + search per graph, locals bound once.
+        # Admit verdicts are memoized on the FlatDB (both sides are
+        # immutable), so repeated scans of one database skip the
+        # invariant loops; the reject counters still tick every scan.
+        admits = perf.flat_admits
+        fexists = perf.flat_exists
+        flats = flat.flats
+        reject_quick = perf.REJECT_QUICK
+        add = supporting.add
+        memo = flat.admit_memo.get(flat_plan)
+        if memo is None:
+            memo = flat.admit_memo[flat_plan] = {}
+        memo_get = memo.get
+        for gid, _graph in items:
+            reason = memo_get(gid)
+            if reason is None:
+                reason = memo[gid] = admits(flat_plan, flats[gid])
+            if reason:
+                if reason == reject_quick:
+                    quick += 1
+                else:
+                    finger += 1
+                continue
+            searched += 1
+            if fexists(flat_plan, flats[gid], induced=induced, count=False):
+                add(gid)
+    else:
+
+        def exists(gid: int, graph: LabeledGraph) -> bool:
+            nonlocal quick, finger, searched
+            if flat_plan is not None:
+                fg = flat.get(gid)
+                reason = perf.flat_admits(flat_plan, fg)
+                if reason:
+                    if reason == perf.REJECT_QUICK:
+                        quick += 1
+                    else:
+                        finger += 1
+                    return False
+                searched += 1
+                return perf.flat_exists(
+                    flat_plan, fg, induced=induced, count=False
+                )
+            return subgraph_exists(pattern, graph, induced=induced)
+
+        for gid, graph in items:
+            if use_cache:
+                verdict = cache.get(key, graph, induced=induced)
+                if verdict is None:
+                    verdict = exists(gid, graph)
+                    cache.put(key, graph, verdict, induced=induced)
+            else:
+                verdict = exists(gid, graph)
+            if verdict:
+                supporting.add(gid)
+    if quick:
+        COUNTERS.inc("quick_rejects", quick)
+    if finger:
+        COUNTERS.inc("fingerprint_rejects", finger)
+    if searched:
+        COUNTERS.inc("vf2_calls", searched)
+        COUNTERS.inc("flat_searches", searched)
     return len(supporting), supporting

@@ -469,6 +469,22 @@ def count_unit_status(status: str) -> None:
     ).labels(status=status).inc()
 
 
+def count_merge_level(outcome: str) -> None:
+    """Record one merge-join level: ``joined`` or ``skipped``.
+
+    ``skipped`` levels are those the cs/0112007 candidate upper bound
+    proved hopeless (no core-compatible generator pair's TID bound
+    reaches the level threshold), so no join ran at all.
+    """
+    if not switch.enabled():
+        return
+    REGISTRY.counter(
+        "repro_mergejoin_levels_total",
+        "Merge-join levels by outcome (joined vs bound-skipped)",
+        labels=("outcome",),
+    ).labels(outcome=outcome).inc()
+
+
 def count_http_request(route: str, outcome: str) -> None:
     """Record one PatternService HTTP request."""
     if not switch.enabled():

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
+from ._state import accel_token, bump_token as _bump_token
 from .cache import SupportCache
 from .counters import (
     COUNTERS,
@@ -35,6 +36,24 @@ from .counters import (
     snapshot,
 )
 from .fingerprint import GraphFingerprint, PatternProfile, get_fingerprint
+from .fastmatch import (
+    ADMIT,
+    REJECT_DEGREE,
+    REJECT_QUICK,
+    FlatPlan,
+    flat_admits,
+    flat_exists,
+    get_flat_plan,
+)
+from .flatgraph import (
+    INTERNER,
+    FlatDB,
+    FlatGraph,
+    FlatSegment,
+    attach_segment,
+    get_flat_db,
+    live_segments,
+)
 from .matchplan import (
     MatchPlan,
     accel_subgraph_exists,
@@ -43,7 +62,7 @@ from .matchplan import (
 )
 
 _ENABLED = not os.environ.get("REPRO_NO_ACCEL")
-
+_FLAT_ENABLED = not os.environ.get("REPRO_NO_FLAT")
 
 def enabled() -> bool:
     """True when the acceleration layer is globally active."""
@@ -55,6 +74,23 @@ def set_enabled(flag: bool) -> bool:
     global _ENABLED
     previous = _ENABLED
     _ENABLED = bool(flag)
+    if previous != _ENABLED:
+        _bump_token()
+    return previous
+
+
+def flat_enabled() -> bool:
+    """True when the flat-array kernels are active (implies enabled())."""
+    return _ENABLED and _FLAT_ENABLED
+
+
+def set_flat_enabled(flag: bool) -> bool:
+    """Switch the flat-array kernels on or off; returns the previous state."""
+    global _FLAT_ENABLED
+    previous = _FLAT_ENABLED
+    _FLAT_ENABLED = bool(flag)
+    if previous != _FLAT_ENABLED:
+        _bump_token()
     return previous
 
 
@@ -68,22 +104,50 @@ def disabled():
         set_enabled(previous)
 
 
+@contextmanager
+def flat_disabled():
+    """Run a block with match plans but no flat kernels (for testing)."""
+    previous = set_flat_enabled(False)
+    try:
+        yield
+    finally:
+        set_flat_enabled(previous)
+
+
 __all__ = [
     "COUNTERS",
+    "FlatDB",
+    "FlatGraph",
+    "ADMIT",
+    "FlatPlan",
+    "FlatSegment",
     "GraphFingerprint",
+    "INTERNER",
     "MatchPlan",
     "PatternProfile",
     "PerfCounters",
     "SupportCache",
     "accel_subgraph_exists",
+    "accel_token",
+    "attach_segment",
     "delta_since",
     "disabled",
     "enabled",
+    "flat_disabled",
+    "flat_enabled",
+    "REJECT_DEGREE",
+    "REJECT_QUICK",
+    "flat_admits",
+    "flat_exists",
     "get_fingerprint",
+    "get_flat_db",
+    "get_flat_plan",
     "get_match_plan",
     "global_counters",
+    "live_segments",
     "plan_exists",
     "reset_counters",
     "set_enabled",
+    "set_flat_enabled",
     "snapshot",
 ]

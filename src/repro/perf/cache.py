@@ -25,6 +25,14 @@ batches:
 The cache never stores a wrong verdict as long as callers pass the
 pattern's canonical key (two patterns with equal keys are isomorphic, so
 their containment verdicts are interchangeable).
+
+Entries additionally carry the process-wide **accel-state token**
+(:func:`repro.perf.accel_token`): toggling the acceleration layer or the
+flat kernels mid-process bumps it, invalidating every verdict computed
+under the previous configuration on first access.  Verdicts are
+configuration-independent *by contract*, but the token turns "the
+differential suite proves it" into "a flipped toggle can't even serve a
+stale one" — the accel-matrix tests flip these switches constantly.
 """
 
 from __future__ import annotations
@@ -33,9 +41,10 @@ import sys
 import weakref
 
 from ..graph.labeled_graph import LabeledGraph
+from ._state import accel_token
 from .counters import COUNTERS
 
-#: (canonical key, induced flag) -> (graph version, verdict)
+#: (canonical key, induced flag) -> (graph version, accel token, verdict)
 _Entry = dict
 
 
@@ -65,8 +74,12 @@ class SupportCache:
         if entry is not None:
             record = entry.get((key, induced))
             if record is not None:
-                version, verdict = record
-                if version == graph.version:
+                version, token, verdict = record
+                # The accel-state token guards against configuration
+                # flips mid-process: a verdict computed by one matcher
+                # stack is never served after the stack changed (the
+                # differential suite relies on toggles being clean).
+                if version == graph.version and token == accel_token():
                     self.hits += 1
                     COUNTERS.inc("support_cache_hits")
                     return verdict
@@ -88,7 +101,7 @@ class SupportCache:
         if entry is None:
             entry = {}
             self._verdicts[graph] = entry
-        entry[(key, induced)] = (graph.version, verdict)
+        entry[(key, induced)] = (graph.version, accel_token(), verdict)
         self.stores += 1
         COUNTERS.inc("support_cache_stores")
         key_id = id(key)

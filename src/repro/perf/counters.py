@@ -53,6 +53,14 @@ class PerfCounters:
     support_cache_hits: int = 0  # containment verdicts served from cache
     support_cache_misses: int = 0  # cache consulted, no (fresh) verdict
     support_cache_stores: int = 0  # verdicts written to a cache
+    flat_searches: int = 0  # searches run by the flat-array matcher
+    flat_plan_compiles: int = 0  # flat pattern plans built
+    flat_db_compiles: int = 0  # databases compiled to flat arrays
+    flat_db_hits: int = 0  # flat databases served from cache
+    join_levels_skipped: int = 0  # merge-join levels skipped by the bound
+    join_pairs_pruned: int = 0  # generator pairs skipped by the bound
+    shm_publishes: int = 0  # flat databases published to shared memory
+    shm_attaches: int = 0  # shared-memory segments mapped
 
     def snapshot(self) -> "PerfCounters":
         """An independent copy (freeze a point in time)."""

@@ -42,6 +42,13 @@ class RuntimeConfig:
     kill_grace:
         Seconds to wait for a terminated worker before escalating to
         ``SIGKILL``.
+    shared_db:
+        Publish each unit's database as a read-only shared-memory
+        flat-array segment that worker attempts *map* instead of
+        receiving a pickled graph list per attempt.  Effective only
+        while the acceleration layer is on (``--no-accel`` disables it
+        with everything else); any publish/attach failure falls back to
+        pickled payloads for that unit.
     """
 
     max_workers: int | None = None
@@ -53,6 +60,7 @@ class RuntimeConfig:
     fallback: str = "serial"
     start_method: str | None = None
     kill_grace: float = 5.0
+    shared_db: bool = True
 
     def __post_init__(self) -> None:
         if self.fallback not in FALLBACKS:

@@ -84,6 +84,27 @@ def decode_patterns(raw: object) -> PatternSet:
     return patterns
 
 
+def resolve_payload_database(payload: dict) -> GraphDatabase:
+    """The unit database a worker payload describes.
+
+    Two wire forms: ``graphs`` carries a pickled ``(gid, graph)`` list
+    (the original protocol), ``shm`` names a shared-memory flat-array
+    segment published by the parent (see
+    :mod:`repro.perf.flatgraph`) — the worker maps it, rebuilds the
+    graphs, and drops the mapping immediately.
+    """
+    name = payload.get("shm")
+    if name is not None:
+        from ..perf.flatgraph import attach_segment
+
+        flat = attach_segment(name)
+        try:
+            return flat.to_database()
+        finally:
+            flat.release()
+    return GraphDatabase(payload["graphs"])
+
+
 def mine_unit_worker(payload: dict, attempt: int) -> list:
     """Default worker: Gaston over one unit's piece database.
 
@@ -93,7 +114,7 @@ def mine_unit_worker(payload: dict, attempt: int) -> list:
     """
     from ..mining.gaston import GastonMiner
 
-    database = GraphDatabase(payload["graphs"])
+    database = resolve_payload_database(payload)
     miner = GastonMiner(max_size=payload.get("max_size"))
     return encode_patterns(miner.mine(database, payload["threshold"]))
 
@@ -527,7 +548,17 @@ def run_unit_mining(
     ``thresholds`` their absolute support thresholds.  The serial fallback
     (and nothing else) uses ``miner_factory`` — the worker processes run
     ``worker`` (Gaston by default), matching the paper's unit miner.
+
+    When the acceleration layer is on and ``config.shared_db`` allows it,
+    each unit's database is published once as a read-only shared-memory
+    flat-array segment and attempts receive only its name — re-pickling
+    the graph list per attempt disappears.  Each published segment is
+    verified by an in-process attach (which is also the ``perf.shm_attach``
+    fault site); any failure quietly reverts that unit to the pickled
+    payload.  Segments are always destroyed before this function returns,
+    so crashed or killed workers cannot leak them.
     """
+    from .. import perf
 
     def make_fallback(unit, threshold):
         def fallback() -> PatternSet:
@@ -541,20 +572,56 @@ def run_unit_mining(
 
         return fallback
 
+    resolved_config = config or RuntimeConfig()
+    use_shm = resolved_config.shared_db and perf.enabled()
+    segments = []
+
+    def unit_payload(unit, threshold) -> dict:
+        payload = {
+            "graphs": list(unit.database),
+            "threshold": threshold,
+            "max_size": max_size,
+        }
+        if not use_shm:
+            return payload
+        from ..perf import flatgraph
+
+        try:
+            segment = flatgraph.FlatSegment.publish(
+                flatgraph.get_flat_db(unit.database)
+            )
+        except Exception:
+            return payload
+        try:
+            # Verify round-trip before shipping the name to workers;
+            # this attach is the parent-side perf.shm_attach fault site.
+            check = flatgraph.attach_segment(segment.name)
+            same = check.gids == unit.database.gids()
+            check.release()
+            if not same:
+                raise ValueError("segment gids diverge from unit database")
+        except Exception:
+            segment.destroy()
+            return payload
+        segments.append(segment)
+        del payload["graphs"]
+        payload["shm"] = segment.name
+        return payload
+
     tasks = [
         UnitTask(
             index=i,
-            payload={
-                "graphs": list(unit.database),
-                "threshold": threshold,
-                "max_size": max_size,
-            },
+            payload=unit_payload(unit, threshold),
             fallback=make_fallback(unit, threshold),
             checkpoint_meta={"threshold": threshold},
         )
         for i, (unit, threshold) in enumerate(zip(units, thresholds))
     ]
-    runtime = MiningRuntime(config, worker=worker)
-    return runtime.run(
-        tasks, checkpoint=checkpoint, on_unit_complete=on_unit_complete
-    )
+    runtime = MiningRuntime(resolved_config, worker=worker)
+    try:
+        return runtime.run(
+            tasks, checkpoint=checkpoint, on_unit_complete=on_unit_complete
+        )
+    finally:
+        for segment in segments:
+            segment.destroy()

@@ -150,3 +150,171 @@ class TestAsPartMinerUnitMiners:
         ).mine(db, 2)
         # Soundness still holds (nothing invented)…
         assert result.patterns.keys() <= want.keys()
+
+
+# ----------------------------------------------------------------------
+# The acceleration matrix: every accel mode, identical answers.
+# ----------------------------------------------------------------------
+class TestAccelMatrix:
+    """The acceleration layer is an *optimization*, never a semantic:
+    accel off, match plans only, plans + flat kernels, and plans + flat
+    + shared-memory workers must all mine byte-identical pattern sets.
+
+    The matrix is the lockdown for the flat-array kernels
+    (:mod:`repro.perf.fastmatch`) and the cs/0112007 join bound wired
+    into :mod:`repro.core.mergejoin` — any unsound shortcut in either
+    shows up here as a divergence from the accel-off baseline."""
+
+    MODES = ("off", "plans", "flat", "flat+shm")
+
+    @staticmethod
+    def mine_in_mode(mode: str, db, threshold: int):
+        from repro import perf
+        from repro.runtime import RuntimeConfig
+
+        if mode == "off":
+            with perf.disabled():
+                return PartMiner(k=2, unit_support="exact").mine(
+                    db, threshold
+                )
+        if mode == "plans":
+            with perf.flat_disabled():
+                return PartMiner(k=2, unit_support="exact").mine(
+                    db, threshold
+                )
+        if mode == "flat":
+            return PartMiner(k=2, unit_support="exact").mine(db, threshold)
+        if mode == "flat+shm":
+            return PartMiner(
+                k=2,
+                unit_support="exact",
+                parallel_units=True,
+                runtime=RuntimeConfig(max_workers=2, shared_db=True),
+            ).mine(db, threshold)
+        raise AssertionError(mode)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_modes_agree_with_each_other_and_the_oracle(self, seed):
+        db = small_db(seed)
+        for threshold in (2, 3):
+            want = BruteForceMiner().mine(db, threshold)
+            for mode in self.MODES:
+                got = self.mine_in_mode(mode, db, threshold).patterns
+                assert_same_patterns(
+                    got, want, f"accel[{mode}] seed={seed} sup={threshold}"
+                )
+
+    def test_shared_memory_mode_actually_uses_segments(self):
+        """The fourth matrix column must not silently degrade to pickles
+        (which would make its column vacuous)."""
+        from repro.perf import flatgraph
+        from repro.perf.counters import COUNTERS
+
+        db = small_db(SEEDS[0])
+        published_before = COUNTERS.shm_publishes
+        attached_before = COUNTERS.shm_attaches
+        self.mine_in_mode("flat+shm", db, 2)
+        assert COUNTERS.shm_publishes > published_before
+        assert COUNTERS.shm_attaches > attached_before
+        assert flatgraph.live_segments() == []  # all destroyed after
+
+    @pytest.mark.parametrize("name", ("gspan", "gaston", "fsg"))
+    def test_standalone_miners_are_mode_invariant(self, name):
+        """Unit miners run inside every mode too — their answers must not
+        depend on the accel state they execute under."""
+        from repro import perf
+
+        db = small_db(SEEDS[1])
+        want = BruteForceMiner().mine(db, 3)
+        with perf.disabled():
+            off = MONOMORPHIC_MINERS[name]().mine(db, 3)
+        with perf.flat_disabled():
+            plans = MONOMORPHIC_MINERS[name]().mine(db, 3)
+        flat = MONOMORPHIC_MINERS[name]().mine(db, 3)
+        for got, mode in ((off, "off"), (plans, "plans"), (flat, "flat")):
+            assert_same_patterns(got, want, f"{name}[{mode}]")
+
+
+# ----------------------------------------------------------------------
+# Soundness of the cs/0112007 join bound: exhaustive replay.
+# ----------------------------------------------------------------------
+class TestBoundPruningSoundness:
+    """merge_join skips a whole join level when the TID-intersection
+    bound proves every candidate infrequent.  Each skip records its live
+    inputs in ``stats.extras['skipped_join_levels']``; here every skipped
+    level is re-joined *without* the bound and every candidate's support
+    is counted exhaustively — zero frequent patterns may hide in a
+    skipped level, ever."""
+
+    @staticmethod
+    def tree_nodes(tree):
+        nodes = {}
+
+        def walk(node):
+            nodes[(node.depth, node.index)] = node
+            for child in node.children or ():
+                walk(child)
+
+        walk(tree.root)
+        return nodes
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_skipped_levels_contain_no_frequent_patterns(self, seed):
+        from repro.core.join import join_patterns
+        from repro.graph.isomorphism import count_support
+
+        db = small_db(seed)
+        replayed_levels = replayed_candidates = 0
+        for threshold in (2, 3):
+            result = PartMiner(k=2, unit_support="exact").mine(
+                db, threshold
+            )
+            nodes = self.tree_nodes(result.tree)
+            for node_key, stats in result.merge_stats.items():
+                dataset = nodes[node_key].database
+                for record in stats.extras.get("skipped_join_levels", []):
+                    replayed_levels += 1
+                    # Re-generate the level's candidates with the bound
+                    # off (min_bound=0, empty seen: *every* candidate).
+                    candidates = {}
+                    for a, b in record["inputs"]:
+                        for key, (graph, _bound) in join_patterns(
+                            a, b, set()
+                        ).items():
+                            candidates.setdefault(key, graph)
+                    for key, graph in candidates.items():
+                        support, _tids = count_support(
+                            graph, dataset, key=key
+                        )
+                        assert support < record["threshold"], (
+                            f"seed={seed} sup={threshold} node={node_key} "
+                            f"size={record['size']}: skipped level hides a "
+                            f"frequent pattern {key}"
+                        )
+                        replayed_candidates += 1
+        # The test must not pass vacuously: these workloads are known to
+        # trigger skips (and most skipped levels still join candidates).
+        assert replayed_levels > 0
+
+    def test_pair_pruning_never_changes_the_answer(self):
+        """The finer-grained prune (join_patterns min_bound) is covered
+        by direct comparison: with and without the bound, the surviving
+        candidate keys that can reach the threshold are identical."""
+        from repro.core.join import join_patterns
+
+        db = small_db(SEEDS[0])
+        threshold = 2
+        result = PartMiner(k=2, unit_support="exact").mine(db, threshold)
+        patterns = [p for p in result.patterns if p.size == 2]
+        if len(patterns) < 2:
+            pytest.skip("workload too small to join")
+        unbounded = join_patterns(patterns, patterns, set())
+        bounded = join_patterns(
+            patterns, patterns, set(), min_bound=threshold
+        )
+        assert set(bounded) <= set(unbounded)
+        for key, (graph, bound) in unbounded.items():
+            if key not in bounded:
+                # Pruned pairs: every surviving record of the candidate
+                # must have been below the bound.
+                assert len(bound) < threshold

@@ -196,3 +196,67 @@ class TestMutationSafety:
             assert verdict == subgraph_exists_reference(pattern, target)
         else:
             assert cache.invalidated == 1
+
+
+# ----------------------------------------------------------------------
+# Accel-state token: mode flips must never serve stale verdicts
+# ----------------------------------------------------------------------
+class TestAccelTokenInvalidation:
+    """Entries are stamped with the accel-state token as well as the
+    graph version (the regression: a verdict computed by one matcher
+    implementation surviving a mid-process ``--no-accel``/``--no-flat``
+    flip and being served as if the other matcher had produced it)."""
+
+    def test_flat_toggle_invalidates_entries(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1, 2])
+        cache.put(("k",), graph, True)
+        assert cache.get(("k",), graph) is True
+        with perf.flat_disabled():
+            # Inside the flipped mode the old-epoch entry is dead...
+            assert cache.get(("k",), graph) is None
+        # ...and stays dead after restoring (the token is monotonic:
+        # there is no way back into a previous epoch).
+        assert cache.get(("k",), graph) is None
+
+    def test_accel_toggle_invalidates_entries(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1, 2])
+        cache.put(("k",), graph, False)
+        with perf.disabled():
+            assert cache.get(("k",), graph) is None
+        assert cache.get(("k",), graph) is None
+
+    def test_entries_written_inside_a_mode_die_with_it(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1])
+        with perf.flat_disabled():
+            cache.put(("k",), graph, True)
+            assert cache.get(("k",), graph) is True
+        assert cache.get(("k",), graph) is None
+
+    def test_stable_mode_keeps_entries(self):
+        cache = perf.SupportCache()
+        graph = path_graph([0, 1])
+        cache.put(("k",), graph, True)
+        assert cache.get(("k",), graph) is True  # no flip, no invalidation
+        assert cache.get(("k",), graph) is True
+
+    def test_shared_cache_across_modes_stays_correct(self):
+        """End-to-end regression: one long-lived cache carried across
+        runs in different accel modes must not corrupt any of them."""
+        db = GraphDatabase.from_graphs(
+            [path_graph([0, 1, 2]), path_graph([0, 1, 2]),
+             path_graph([1, 2, 0])]
+        )
+        cache = perf.SupportCache()
+        miner = PartMiner(k=2, unit_support="exact", support_cache=cache)
+        flat_run = miner.mine(db, 2).patterns
+        with perf.flat_disabled():
+            plans_run = miner.mine(db, 2).patterns
+        with perf.disabled():
+            off_run = miner.mine(db, 2).patterns
+        final_run = miner.mine(db, 2).patterns
+        assert pattern_maps(flat_run) == pattern_maps(plans_run)
+        assert pattern_maps(flat_run) == pattern_maps(off_run)
+        assert pattern_maps(flat_run) == pattern_maps(final_run)

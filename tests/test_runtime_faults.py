@@ -264,3 +264,110 @@ class TestEndToEnd:
         assert summary["attempts"] == 4
         assert summary["retries"] == 2
         assert "ok" in result.telemetry.format_summary()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory database segments: lifecycle under faults
+# ----------------------------------------------------------------------
+def crash_once_worker(payload: dict, attempt: int):
+    """Die hard on the first attempt of every unit, then mine for real.
+
+    Unlike :func:`faulty_worker`, this shim takes the *engine's own*
+    payloads, so the shared-memory publish path in
+    :func:`run_unit_mining` stays active."""
+    if attempt == 0:
+        os._exit(13)
+    return mine_unit_worker(payload, attempt)
+
+
+def always_crash_worker(payload: dict, attempt: int):
+    os._exit(13)
+
+
+class TestSharedMemorySegmentLifecycle:
+    """run_unit_mining publishes each unit's database as a shared-memory
+    segment (when the accel layer is on).  The contract under test: no
+    fault schedule — worker crashes, attach failures, even a failed run
+    — may leak a segment, and none may change the mined answer."""
+
+    def test_worker_crash_leaks_no_segments(self, workload):
+        from repro.perf import flatgraph
+        from repro.perf.counters import COUNTERS
+        from repro.runtime import run_unit_mining
+
+        units, thresholds, clean = workload
+        published_before = COUNTERS.shm_publishes
+        result = run_unit_mining(
+            units,
+            thresholds,
+            config=RuntimeConfig(max_retries=2, **FAST),
+            worker=crash_once_worker,
+        )
+        # The shm path was actually exercised (not silently degraded)...
+        assert COUNTERS.shm_publishes > published_before
+        # ...the crashed workers left nothing behind...
+        assert flatgraph.live_segments() == []
+        # ...and the answer is the fault-free one.
+        for record in result.telemetry.units:
+            assert [a.outcome for a in record.attempts] == ["crash", "ok"]
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
+            for p in mined:
+                assert p.tids == want.get(p.key).tids
+
+    def test_attach_fault_falls_back_to_pickled_payloads(self, workload):
+        from repro.perf import flatgraph
+        from repro.resilience.faults import FaultPlan
+        from repro.runtime import run_unit_mining
+
+        units, thresholds, clean = workload
+        plan = FaultPlan(seed=7).inject("perf.shm_attach", times=99)
+        with plan.active():
+            result = run_unit_mining(
+                units, thresholds, config=RuntimeConfig(**FAST)
+            )
+        # The parent's verify-attach fired for every unit, so every unit
+        # reverted to the pickled payload — and still mined correctly.
+        assert [f.site for f in plan.fired] == ["perf.shm_attach"] * len(
+            units
+        )
+        assert flatgraph.live_segments() == []
+        for record in result.telemetry.units:
+            assert record.status == "ok"
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
+            for p in mined:
+                assert p.tids == want.get(p.key).tids
+
+    def test_failed_run_still_destroys_segments(self, workload):
+        from repro.perf import flatgraph
+        from repro.runtime import run_unit_mining
+
+        units, thresholds, _ = workload
+        with pytest.raises(UnitMiningError):
+            run_unit_mining(
+                units,
+                thresholds,
+                config=RuntimeConfig(
+                    max_retries=1, fallback="none", **FAST
+                ),
+                worker=always_crash_worker,
+            )
+        assert flatgraph.live_segments() == []
+
+    def test_shared_db_off_publishes_nothing(self, workload):
+        from repro.perf import flatgraph
+        from repro.perf.counters import COUNTERS
+        from repro.runtime import run_unit_mining
+
+        units, thresholds, clean = workload
+        published_before = COUNTERS.shm_publishes
+        result = run_unit_mining(
+            units,
+            thresholds,
+            config=RuntimeConfig(shared_db=False, **FAST),
+        )
+        assert COUNTERS.shm_publishes == published_before
+        assert flatgraph.live_segments() == []
+        for mined, want in zip(result.unit_results, clean):
+            assert mined.keys() == want.keys()
