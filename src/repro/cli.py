@@ -510,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
              "setting REPRO_NO_FLAT=1",
     )
     parser.add_argument(
+        "--no-batch", action="store_true",
+        help="keep the flat-array kernels but disable the batched "
+             "candidate-scan kernel (per-graph dispatch); equivalent "
+             "to setting REPRO_NO_BATCH=1",
+    )
+    parser.add_argument(
         "--no-obs", action="store_true",
         help="disable the observability subsystem (spans, metric "
              "observations, event sink, profiling); equivalent to "
@@ -694,6 +700,10 @@ def main(argv: list[str] | None = None) -> int:
         from . import perf
 
         perf.set_flat_enabled(False)
+    if args.no_batch:
+        from . import perf
+
+        perf.set_batch_enabled(False)
     if args.no_obs:
         from . import obs
 

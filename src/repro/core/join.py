@@ -77,6 +77,10 @@ class SupportCounter:
         # the database instance, version-validated); every existence
         # check below then runs on CSR int arrays instead of dict rows.
         self._flat = perf.get_flat_db(database) if perf.flat_enabled() else None
+        # One scan arena for the counter's lifetime: every batched count
+        # at this level reuses the same preallocated matcher state
+        # instead of building per-call lists (see repro.perf.batchscan).
+        self._arena = perf.ScanArena()
         self._triple_index: dict[EdgeTriple, set[int]] = {}
         for gid, graph in database:
             for u, v, elabel in graph.edges():
@@ -90,12 +94,17 @@ class SupportCounter:
         self.cache_hits = 0
         self.cache_misses = 0
 
-    def candidate_gids(self, pattern: LabeledGraph) -> set[int]:
+    def candidate_gids(
+        self, pattern: LabeledGraph, admit: bool = True
+    ) -> set[int]:
         """Gids of graphs that pass every cheap containment filter.
 
         Intersects the edge-triple index (as always), then — when the
         acceleration layer is on — drops candidates whose fingerprint
-        rules the pattern out without a search.
+        rules the pattern out without a search.  ``admit=False`` skips
+        that second stage: the batched scan kernel applies the same
+        integer-space admit through the FlatDB's memo, so running it
+        here too would pay for every invariant twice.
         """
         candidates: set[int] | None = None
         for triple in pattern_edge_triples(pattern):
@@ -107,7 +116,7 @@ class SupportCounter:
                 return set()
         if candidates is None:
             return set()
-        if candidates and perf.enabled():
+        if candidates and admit and perf.enabled():
             flat = self._flat if perf.flat_enabled() else None
             if flat is not None:
                 # Integer-space admit over the precompiled invariants;
@@ -147,6 +156,7 @@ class SupportCounter:
         known_tids: frozenset[int] = frozenset(),
         restrict: frozenset[int] | None = None,
         key: PatternKey | None = None,
+        minsup: int = 0,
     ) -> tuple[int, frozenset[int]]:
         """Support of ``pattern`` in the level dataset.
 
@@ -157,9 +167,19 @@ class SupportCounter:
         generators) — graphs outside it are skipped entirely.  ``key`` is
         the pattern's canonical key, used to address the shared support
         cache; when omitted it is derived on demand.
+
+        ``minsup`` (batched kernel only) lets the scan stop as soon as
+        the pattern provably cannot reach that support: the returned TID
+        set is then a subset of the true one, but the frequent/infrequent
+        verdict against ``minsup`` is always exact, and a set that *does*
+        reach ``minsup`` is always complete.  Callers that need the full
+        TID set of infrequent patterns must pass 0 (the default).
         """
+        flat = self._flat if perf.flat_enabled() else None
+        use_batch = flat is not None and perf.batch_enabled()
         supporting = set(known_tids)
-        untested = self.candidate_gids(pattern) - supporting
+        untested = self.candidate_gids(pattern, admit=not use_batch)
+        untested -= supporting
         if restrict is not None:
             untested &= restrict
         cache = self.cache
@@ -170,7 +190,47 @@ class SupportCounter:
             except ValueError:  # disconnected/empty: not cacheable
                 use_cache = False
         database = self.database
-        flat = self._flat if perf.flat_enabled() else None
+        if use_batch:
+            if untested:
+                flat_plan = perf.get_flat_plan(pattern)
+                order = sorted(untested)
+                if use_cache:
+                    unresolved = []
+                    for gid in order:
+                        verdict = cache.get(key, database[gid])
+                        if verdict is not None:
+                            self.cache_hits += 1
+                            if verdict:
+                                supporting.add(gid)
+                        else:
+                            self.cache_misses += 1
+                            unresolved.append(gid)
+                else:
+                    unresolved = order
+                need = max(0, minsup - len(supporting)) if minsup else 0
+                scan = perf.flat_count_batch(
+                    flat_plan,
+                    flat,
+                    unresolved,
+                    minsup=need,
+                    need_tids=True,
+                    arena=self._arena,
+                )
+                supporting.update(scan.hits)
+                self.isomorphism_tests += scan.searched
+                self.vf2_tests += scan.searched
+                self.fingerprint_rejects += scan.rejected
+                if use_cache:
+                    hits = set(scan.hits)
+                    undecided = set(scan.undecided)
+                    for gid in unresolved:
+                        if gid not in undecided:
+                            cache.put(key, database[gid], gid in hits)
+            if use_cache:
+                for gid in known_tids:
+                    if gid in database:
+                        cache.put(key, database[gid], True)
+            return len(supporting), frozenset(supporting)
         flat_plan = (
             perf.get_flat_plan(pattern) if flat is not None and untested
             else None

@@ -144,6 +144,21 @@ def merge_join(
                 )
             sides.setdefault(pattern.key, set()).add(side_index)
 
+    # The cs/0112007 candidate upper bound, transferred to TID space: a
+    # join candidate's level support is contained in every generating
+    # pair's TID intersection, so inputs below threshold, pairs whose
+    # intersection is below threshold, and whole levels where no
+    # core-compatible pair can reach it are all provably fruitless.
+    # Applied only on fresh (non-incremental) merges with the
+    # acceleration layer on — `--no-accel` restores the paper-pure path.
+    use_bound = known is None and perf.enabled()
+    # Under the same regime the batched scan kernel may stop a count
+    # early once the pattern provably cannot reach the threshold: the
+    # partial TID list that produces is only ever attached to patterns
+    # the bound excludes from joins and from the result, and patterns
+    # that DO reach the threshold always come back with exact TIDs.
+    verify_minsup = threshold if use_bound else 0
+
     # Exact level support for every carried pattern, seeded by child TIDs.
     # Patterns vouched for by `known` skip the count entirely.
     evaluated: dict[PatternKey, Pattern] = {}
@@ -160,22 +175,14 @@ def merge_join(
                 )
             else:
                 support, tids = counter.count(
-                    pattern.graph, pattern.tids, key=key
+                    pattern.graph, pattern.tids, key=key,
+                    minsup=verify_minsup,
                 )
                 evaluated[key] = Pattern(
                     graph=pattern.graph, key=key, support=support, tids=tids
                 )
             if evaluated[key].support >= threshold:
                 result.add(evaluated[key])
-
-    # The cs/0112007 candidate upper bound, transferred to TID space: a
-    # join candidate's level support is contained in every generating
-    # pair's TID intersection, so inputs below threshold, pairs whose
-    # intersection is below threshold, and whole levels where no
-    # core-compatible pair can reach it are all provably fruitless.
-    # Applied only on fresh (non-incremental) merges with the
-    # acceleration layer on — `--no-accel` restores the paper-pure path.
-    use_bound = known is None and perf.enabled()
 
     def side_patterns(side_index: int, size: int) -> list[Pattern]:
         return [
@@ -310,7 +317,9 @@ def merge_join(
                 if not pattern_edge_triples(graph) <= allowed_triples:
                     evaluated[key] = Pattern(graph, key, 0, frozenset())
                     continue
-                support, tids = counter.count(graph, restrict=bound, key=key)
+                support, tids = counter.count(
+                    graph, restrict=bound, key=key, minsup=verify_minsup
+                )
                 pattern = Pattern(
                     graph=graph, key=key, support=support, tids=tids
                 )

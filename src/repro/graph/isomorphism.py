@@ -241,26 +241,44 @@ def count_support(
     induced: bool = False,
     cache: "perf.SupportCache | None" = None,
     key: tuple | None = None,
+    minsup: int = 0,
+    need_tids: bool = True,
+    flat: "perf.FlatDB | None" = None,
+    arena: "perf.ScanArena | None" = None,
 ) -> tuple[int, set[int]]:
     """Count the database graphs containing ``pattern``.
 
     ``candidate_gids`` restricts the scan to those gids (the rest count as
     non-supporting) via direct lookup — the cost scales with the candidate
-    set, not the database; pass ``None`` to scan the whole database;
-    ``induced`` switches to induced-subgraph semantics.  Returns
-    ``(support, supporting_gids)``.
+    set, not the database; candidates are scanned in ascending gid order
+    (deterministic replay, shared-memory page locality); pass ``None`` to
+    scan the whole database; ``induced`` switches to induced-subgraph
+    semantics.  Returns ``(support, supporting_gids)``.
 
     ``cache`` memoizes per-graph containment verdicts across calls
     (:class:`repro.perf.SupportCache`); ``key`` is the pattern's canonical
     key if already known — when omitted it is derived (and memoized on the
     pattern) the first time the cache is consulted.
+
+    ``minsup`` opts into support-threshold early termination on the
+    batched kernel path (cache-less only): the scan aborts once the
+    remaining candidates cannot reach ``minsup``, and — with
+    ``need_tids=False`` — once ``minsup`` supporting graphs are in hand.
+    After an abort the returned pair is a partial lower bound whose
+    frequency verdict (``support >= minsup``) is nevertheless exact;
+    callers that consume TID lists of frequent patterns keep the default
+    ``need_tids=True``, under which frequent results are always complete.
+    The reference and per-graph paths ignore both knobs (always exact).
+
+    ``flat`` is a pre-validated flat compilation of ``database``
+    (:func:`repro.perf.get_flat_db`): callers issuing many counts against
+    one stable database — a recount pass, a counter's lifetime — fetch it
+    once and pass it down, skipping the per-call freshness revalidation
+    (the caller then owns the database-unchanged contract, exactly as
+    :class:`~repro.core.join.SupportCounter` does).  ``arena`` is a
+    :class:`repro.perf.ScanArena` to reuse across batched scans; both are
+    ignored when the flat layer is off.
     """
-    if candidate_gids is None:
-        items: Iterator[tuple[int, LabeledGraph]] = iter(database)
-    else:
-        items = (
-            (gid, database[gid]) for gid in candidate_gids if gid in database
-        )
     use_cache = cache is not None and perf.enabled()
     if use_cache and key is None:
         try:
@@ -271,27 +289,81 @@ def count_support(
     # every existence check as an integer-space admit + flat-array
     # search.  Counters are tallied locally and flushed once — no lock
     # acquisitions inside the scan loop.
-    flat = flat_plan = None
+    flat_plan = None
     if perf.flat_enabled() and pattern.num_vertices > 0:
-        flat = perf.get_flat_db(database)
+        if flat is None:
+            flat = perf.get_flat_db(database)
         flat_plan = perf.get_flat_plan(pattern)
-    quick = finger = searched = 0
+    else:
+        flat = None
     supporting: set[int] = set()
 
+    if flat_plan is not None and perf.batch_enabled():
+        # Batched scan: the fused admit + descent kernel walks the whole
+        # sorted candidate list inside one Python frame and flushes the
+        # work counters once (see repro.perf.batchscan).
+        if use_cache:
+            # Probe the cache outside the kernel, batch only the misses;
+            # the kernel then runs exact so every miss gets a verdict.
+            probe = (
+                sorted(database._graphs)
+                if candidate_gids is None
+                else sorted(g for g in candidate_gids if g in database)
+            )
+            unresolved = []
+            for gid in probe:
+                verdict = cache.get(key, database[gid], induced=induced)
+                if verdict is None:
+                    unresolved.append(gid)
+                elif verdict:
+                    supporting.add(gid)
+            scan = perf.flat_count_batch(
+                flat_plan, flat, unresolved, induced=induced, arena=arena
+            )
+            hits = set(scan.hits)
+            supporting |= hits
+            for gid in unresolved:
+                cache.put(key, database[gid], gid in hits, induced=induced)
+        else:
+            gid_list = (
+                None
+                if candidate_gids is None
+                else sorted(g for g in candidate_gids if g in database)
+            )
+            scan = perf.flat_count_batch(
+                flat_plan,
+                flat,
+                gid_list,
+                induced=induced,
+                minsup=minsup,
+                need_tids=need_tids,
+                arena=arena,
+            )
+            supporting = set(scan.hits)
+        return len(supporting), supporting
+
+    if candidate_gids is None:
+        items: Iterator[tuple[int, LabeledGraph]] = iter(database)
+    else:
+        items = (
+            (gid, database[gid])
+            for gid in sorted(candidate_gids)
+            if gid in database
+        )
+    quick = finger = searched = 0
+
     if flat_plan is not None and not use_cache:
-        # The recount/throughput hot loop: no cache probes, no closure
-        # dispatch — just admit + search per graph, locals bound once.
-        # Admit verdicts are memoized on the FlatDB (both sides are
-        # immutable), so repeated scans of one database skip the
-        # invariant loops; the reject counters still tick every scan.
+        # Per-graph flat loop (batch kernel disabled): no cache probes,
+        # no closure dispatch — just admit + search per graph, locals
+        # bound once.  Admit verdicts are memoized on the FlatDB (both
+        # sides are immutable), so repeated scans of one database skip
+        # the invariant loops; the reject counters still tick every scan.
         admits = perf.flat_admits
         fexists = perf.flat_exists
         flats = flat.flats
         reject_quick = perf.REJECT_QUICK
         add = supporting.add
-        memo = flat.admit_memo.get(flat_plan)
-        if memo is None:
-            memo = flat.admit_memo[flat_plan] = {}
+        memo = flat.plan_memo(flat_plan)
         memo_get = memo.get
         for gid, _graph in items:
             reason = memo_get(gid)

@@ -138,12 +138,20 @@ class PatternSet:
         skipped join levels with; ``cache`` may be a shared
         :class:`~repro.perf.SupportCache`.
         """
+        from .. import perf
         from ..graph.isomorphism import count_support
 
+        # One freshness check for the whole pass: compile/validate the
+        # flat database once and hand it (plus one scan arena) to every
+        # count — the pass itself never mutates the database, so the
+        # per-call revalidation would be pure overhead at this scale.
+        flat = perf.get_flat_db(database) if perf.flat_enabled() else None
+        arena = perf.ScanArena() if flat is not None else None
         result = PatternSet()
         for pattern in self._by_key.values():
             support, tids = count_support(
-                pattern.graph, database, cache=cache, key=pattern.key
+                pattern.graph, database, cache=cache, key=pattern.key,
+                flat=flat, arena=arena,
             )
             result.add(
                 Pattern(

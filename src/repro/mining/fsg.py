@@ -88,7 +88,13 @@ class FSGMiner:
             next_level = []
             before = counter.isomorphism_tests
             for key, graph, bound in candidate_items:
-                support, tids = counter.count(graph, restrict=bound)
+                # Infrequent candidates are discarded whole, so the
+                # batched kernel may stop counting one as soon as it
+                # provably misses the threshold (frequent ones always
+                # come back with exact TIDs).
+                support, tids = counter.count(
+                    graph, restrict=bound, minsup=threshold
+                )
                 if support >= threshold:
                     pattern = Pattern(
                         graph=graph, key=key, support=support, tids=tids

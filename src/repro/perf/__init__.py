@@ -26,6 +26,12 @@ import os
 from contextlib import contextmanager
 
 from ._state import accel_token, bump_token as _bump_token
+from .batchscan import (
+    BatchScan,
+    ScanArena,
+    flat_count_batch,
+    local_arena,
+)
 from .cache import SupportCache
 from .counters import (
     COUNTERS,
@@ -63,6 +69,7 @@ from .matchplan import (
 
 _ENABLED = not os.environ.get("REPRO_NO_ACCEL")
 _FLAT_ENABLED = not os.environ.get("REPRO_NO_FLAT")
+_BATCH_ENABLED = not os.environ.get("REPRO_NO_BATCH")
 
 def enabled() -> bool:
     """True when the acceleration layer is globally active."""
@@ -94,6 +101,21 @@ def set_flat_enabled(flag: bool) -> bool:
     return previous
 
 
+def batch_enabled() -> bool:
+    """True when the batched scan kernel is active (implies flat_enabled())."""
+    return _ENABLED and _FLAT_ENABLED and _BATCH_ENABLED
+
+
+def set_batch_enabled(flag: bool) -> bool:
+    """Switch the batched scan kernel on or off; returns the previous state."""
+    global _BATCH_ENABLED
+    previous = _BATCH_ENABLED
+    _BATCH_ENABLED = bool(flag)
+    if previous != _BATCH_ENABLED:
+        _bump_token()
+    return previous
+
+
 @contextmanager
 def disabled():
     """Run a block on the unaccelerated reference paths (for testing)."""
@@ -114,12 +136,24 @@ def flat_disabled():
         set_flat_enabled(previous)
 
 
+@contextmanager
+def batch_disabled():
+    """Run a block with flat kernels but per-graph dispatch (for testing)."""
+    previous = set_batch_enabled(False)
+    try:
+        yield
+    finally:
+        set_batch_enabled(previous)
+
+
 __all__ = [
+    "BatchScan",
     "COUNTERS",
     "FlatDB",
     "FlatGraph",
     "ADMIT",
     "FlatPlan",
+    "ScanArena",
     "FlatSegment",
     "GraphFingerprint",
     "INTERNER",
@@ -130,11 +164,15 @@ __all__ = [
     "accel_subgraph_exists",
     "accel_token",
     "attach_segment",
+    "batch_disabled",
+    "batch_enabled",
     "delta_since",
     "disabled",
     "enabled",
+    "flat_count_batch",
     "flat_disabled",
     "flat_enabled",
+    "local_arena",
     "REJECT_DEGREE",
     "REJECT_QUICK",
     "flat_admits",
@@ -147,6 +185,7 @@ __all__ = [
     "live_segments",
     "plan_exists",
     "reset_counters",
+    "set_batch_enabled",
     "set_enabled",
     "set_flat_enabled",
     "snapshot",

@@ -1,0 +1,350 @@
+"""Batched candidate-scan kernel: one Python frame per whole scan.
+
+:func:`repro.perf.fastmatch.flat_exists` made the *search* cheap; the
+scan loop around it stayed interpreter-bound — one Python call, a fresh
+``bytearray`` used-mask, five fresh per-depth lists and a counter flush
+**per graph**.  :func:`flat_count_batch` fuses the admit prefilter and
+the iterative VF2 descent over an entire (sorted) candidate-gid list
+inside a single frame:
+
+* plan state (anchor CSR arrays, label ids, degree requirements) is
+  bound to locals **once per scan** instead of once per graph;
+* matcher state lives in a reusable :class:`ScanArena` — preallocated
+  assignment/cursor/limit/root stacks sized to the plan and a flat
+  used-vertex mask sized to the largest graph in the
+  :class:`~repro.perf.flatgraph.FlatDB`, surgically re-zeroed on
+  backtrack/match instead of reallocated;
+* admit verdicts come from the FlatDB's capped, weakly-keyed memo; a
+  **full-database scan** additionally memoizes its admitted
+  ``(gid, FlatGraph)`` list, so recount passes skip the per-gid memo
+  probes entirely;
+* work counters are tallied in locals and flushed to the global
+  :data:`~repro.perf.counters.COUNTERS` once per scan.
+
+Support-threshold early termination extends the Geerts/Goethals/Van den
+Bussche candidate bound (cs/0112007, already pruning join pairs and
+levels in :mod:`repro.core.mergejoin`) down into the per-pattern verify
+loop: with ``minsup > 0`` the scan aborts as soon as the graphs still
+unscanned cannot lift the hit count to ``minsup`` (the pattern is
+provably infrequent — an admitted graph is the only kind that can still
+support it, so the bound uses the admitted count, which is tighter than
+the raw candidate count); with ``need_tids=False`` it also aborts as
+soon as ``minsup`` hits are in hand (frequency established, TID set not
+wanted).  Either abort returns ``exact=False`` plus the list of
+still-undecided gids, so callers memoizing per-graph verdicts
+(:class:`~repro.perf.cache.SupportCache`) never cache a guess.
+
+Semantics per graph are identical to :func:`flat_exists`; the
+differential suite pins the batch kernel against it and against the
+recursive reference matcher across label regimes and both matching
+semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import NamedTuple
+
+from .counters import COUNTERS
+from .fastmatch import REJECT_QUICK, FlatPlan, flat_admits
+from .flatgraph import FlatDB
+
+
+class ScanArena:
+    """Reusable matcher state for the batched scan kernel.
+
+    One arena serves any number of scans of any number of plans: the
+    per-depth stacks and the used-vertex mask only ever *grow* (to the
+    largest plan and graph seen), and every search leaves the mask
+    all-zero behind it, so there is no per-scan reset cost and no state
+    bleed between patterns — the arena-reuse differential test locks
+    this down.  Arenas are single-threaded by design; use
+    :func:`local_arena` for an implicit per-thread instance.
+    """
+
+    __slots__ = ("assigned", "cursor", "limit", "roots", "used")
+
+    def __init__(self) -> None:
+        self.assigned: list[int] = []
+        self.cursor: list[int] = []
+        self.limit: list[int] = []
+        self.roots: list = []
+        self.used = bytearray()
+
+    def reserve(self, positions: int, vertices: int) -> None:
+        """Grow the buffers to hold ``positions`` depths / ``vertices``."""
+        grow = positions - len(self.assigned)
+        if grow > 0:
+            pad = [0] * grow
+            self.assigned.extend(pad)
+            self.cursor.extend(pad)
+            self.limit.extend(pad)
+            self.roots.extend([None] * grow)
+        if len(self.used) < vertices:
+            # A fresh bytearray is already all-zero — the mask invariant
+            # (see class docstring) holds for the replacement too.
+            self.used = bytearray(vertices)
+
+
+_LOCAL = threading.local()
+
+
+def local_arena() -> ScanArena:
+    """This thread's shared :class:`ScanArena` (created on first use)."""
+    arena = getattr(_LOCAL, "arena", None)
+    if arena is None:
+        arena = _LOCAL.arena = ScanArena()
+    return arena
+
+
+class BatchScan(NamedTuple):
+    """Result of one :func:`flat_count_batch` scan."""
+
+    support: int  #: hits found (lower bound when ``exact`` is False)
+    hits: list  #: supporting gids, ascending (partial when not exact)
+    exact: bool  #: False when an early exit left gids undecided
+    undecided: list  #: gids neither rejected nor searched (early exit)
+    searched: int  #: searches entered (== admitted gids scanned)
+    rejected: int  #: gids dropped by the admit prefilter
+
+
+def _admitted_pairs(plan: FlatPlan, flat: FlatDB, gids) -> tuple:
+    """Split candidates into admitted ``(gid, FlatGraph)`` pairs + tallies.
+
+    Returns ``(pairs, quick, finger, maxn)``.  Full-database scans
+    (``gids is None``) are memoized per plan on the FlatDB — both sides
+    are immutable, so repeated recounts of one database reduce the whole
+    admit phase to a single dict probe.
+    """
+    if gids is None:
+        entry = flat.scan_memo.get(plan)
+        if entry is not None:
+            return entry
+        gids = sorted(flat.flats)
+        memoize_full = True
+    else:
+        memoize_full = False
+    flats = flat.flats
+    memo = flat.plan_memo(plan)
+    memo_get = memo.get
+    pairs = []
+    quick = finger = maxn = 0
+    for gid in gids:
+        fg = flats.get(gid)
+        if fg is None:
+            continue
+        reason = memo_get(gid)
+        if reason is None:
+            reason = memo[gid] = flat_admits(plan, fg)
+        if reason == 0:
+            pairs.append((gid, fg))
+            if fg.n > maxn:
+                maxn = fg.n
+        elif reason == REJECT_QUICK:
+            quick += 1
+        else:
+            finger += 1
+    entry = (pairs, quick, finger, maxn)
+    if memoize_full:
+        flat.scan_memo[plan] = entry
+    return entry
+
+
+def flat_count_batch(
+    plan: FlatPlan,
+    flat: FlatDB,
+    gids=None,
+    induced: bool = False,
+    minsup: int = 0,
+    need_tids: bool = True,
+    arena: ScanArena | None = None,
+) -> BatchScan:
+    """Count the graphs of ``flat`` containing ``plan``, in one frame.
+
+    ``gids`` is the candidate list — **sorted ascending** (callers sort;
+    deterministic replay and shm page locality both want it), or ``None``
+    to scan the whole database via the memoized full-scan admit list.
+    Gids absent from the database are skipped silently, exactly like the
+    per-graph loop they replace.
+
+    ``minsup`` enables the early exits described in the module
+    docstring (0 disables both); ``minsup`` must already be adjusted for
+    hits the caller has in hand from elsewhere (cache probes, seeded
+    TID lists).  Per-graph verdict semantics — including ``induced`` —
+    are identical to :func:`~repro.perf.fastmatch.flat_exists`.
+
+    Counter accounting matches the fused loops this kernel replaces:
+    every admit rejection ticks ``quick_rejects``/``fingerprint_rejects``
+    and every search entered ticks ``vf2_calls`` + ``flat_searches``,
+    flushed in one batch at the end of the scan.
+    """
+    n = plan.n
+    if n == 0:
+        # Empty pattern: embeds everywhere (flat_exists contract).
+        hits = sorted(flat.flats) if gids is None else [
+            gid for gid in gids if gid in flat.flats
+        ]
+        return BatchScan(len(hits), hits, True, [], 0, 0)
+
+    pairs, quick, finger, maxn = _admitted_pairs(plan, flat, gids)
+    admitted = len(pairs)
+    hits: list = []
+    undecided: list = []
+    searched = 0
+    exact = True
+
+    if minsup and admitted < minsup:
+        # The verify-level candidate bound: even if every admitted graph
+        # matched, support cannot reach minsup — skip the searches.
+        undecided = [gid for gid, _ in pairs]
+        exact = False
+    elif admitted:
+        if arena is None:
+            arena = local_arena()
+        arena.reserve(n, maxn)
+        assigned = arena.assigned
+        cursor = arena.cursor
+        limit = arena.limit
+        roots = arena.roots
+        used = arena.used
+        meta = plan.meta
+        apos, aelab = plan.apos, plan.aelab
+        npos = plan.npos
+        empty = ()
+        found = 0
+        hits_append = hits.append
+        stop_at = -1  # index where an early exit fired (-1: ran to the end)
+        for idx, (gid, fg) in enumerate(pairs):
+            if minsup:
+                if found + admitted - idx < minsup or (
+                    not need_tids and found >= minsup
+                ):
+                    stop_at = idx
+                    break
+            if n == 1:
+                # Admission guarantees a vertex of the right label (the
+                # degree requirement is 0): always a hit, same counter
+                # accounting as the per-graph matcher.
+                found += 1
+                hits_append(gid)
+                continue
+            vlab = fg.vlab
+            nbr = fg.nbr
+            deg = fg.deg
+            by_label = fg.by_label
+            runs_get = fg.runs.get
+            # Iterative descent — the same inlined enter/advance loop as
+            # flat_exists, over the arena's reusable buffers.  Per-depth
+            # plan constants come from the plan's packed ``meta`` rows:
+            # one list index + tuple unpack per node entry.
+            depth = 0
+            entering = True
+            hit = False
+            while True:
+                (
+                    a0, a1, n0, n1, want_label, need_deg,
+                    apos0, aelab0, multi,
+                ) = meta[depth]
+                if entering:
+                    if apos0 >= 0:
+                        # Anchored: the anchor image's sub-run of the
+                        # required edge-label id, via one runs probe.
+                        root = None
+                        run = runs_get(assigned[apos0] << 32 | aelab0)
+                        if run is None:
+                            i = end = 0
+                        else:
+                            i, end = run
+                    else:
+                        root = by_label.get(want_label, empty)
+                        i = 0
+                        end = len(root)
+                else:
+                    root = roots[depth]
+                    i = cursor[depth]
+                    end = limit[depth]
+                anchored = root is None
+                seq = nbr if anchored else root
+                cand = -1
+                while i < end:
+                    c = seq[i]
+                    i += 1
+                    if used[c]:
+                        continue
+                    if anchored and vlab[c] != want_label:
+                        continue
+                    if deg[c] < need_deg:
+                        continue
+                    if multi:
+                        ok = True
+                        for j in range(a0 + 1, a1):
+                            # Is (c, image of apos[j]) an aelab[j]-edge?
+                            run = runs_get(c << 32 | aelab[j])
+                            if run is None:
+                                ok = False
+                                break
+                            target = assigned[apos[j]]
+                            lo, hi = run
+                            k = bisect_left(nbr, target, lo, hi)
+                            if k >= hi or nbr[k] != target:
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                    if induced and n1 > n0:
+                        indptr = fg.indptr
+                        ok = True
+                        for j in range(n0, n1):
+                            target = assigned[npos[j]]
+                            for k in range(indptr[c], indptr[c + 1]):
+                                if nbr[k] == target:
+                                    ok = False
+                                    break
+                            if not ok:
+                                break
+                        if not ok:
+                            continue
+                    cand = c
+                    break
+                if cand >= 0:
+                    roots[depth] = root
+                    cursor[depth] = i
+                    limit[depth] = end
+                    assigned[depth] = cand
+                    used[cand] = 1
+                    depth += 1
+                    if depth == n:
+                        hit = True
+                        break
+                    entering = True
+                else:
+                    depth -= 1
+                    if depth < 0:
+                        break
+                    used[assigned[depth]] = 0
+                    entering = False
+            if hit:
+                found += 1
+                hits_append(gid)
+                # The search suspended mid-match: unwind the mask so the
+                # arena invariant (all-zero between searches) holds.
+                for d in range(n):
+                    used[assigned[d]] = 0
+        if stop_at >= 0:
+            exact = False
+            undecided = [gid for gid, _ in pairs[stop_at:]]
+            searched = stop_at
+        else:
+            searched = admitted
+
+    if quick:
+        COUNTERS.inc("quick_rejects", quick)
+    if finger:
+        COUNTERS.inc("fingerprint_rejects", finger)
+    if searched:
+        COUNTERS.inc("vf2_calls", searched)
+        COUNTERS.inc("flat_searches", searched)
+    return BatchScan(
+        len(hits), hits, exact, undecided, searched, quick + finger
+    )

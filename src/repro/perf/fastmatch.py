@@ -50,6 +50,7 @@ class FlatPlan:
     """
 
     __slots__ = (
+        "__weakref__",  # FlatDB admit/scan memos key on plans weakly
         "version",
         "n",
         "num_vertices",
@@ -65,6 +66,7 @@ class FlatPlan:
         "interner_len",  # interner size at compile (revalidation stamp)
         "ehist",  # (edge-label id, required directed count) pairs
         "degs_by_label",  # (vertex-label id, descending degrees) pairs
+        "meta",  # per-depth constants packed for one-unpack node entry
     )
 
     def __init__(
@@ -124,6 +126,26 @@ class FlatPlan:
             (lid, tuple(sorted(degs, reverse=True)))
             for lid, degs in sorted(db.items())
         ]
+
+        # Per-depth constants, packed so the batched kernel's node entry
+        # is one list index + tuple unpack instead of six list reads:
+        # (a0, a1, n0, n1, vlabel, mindeg, first-anchor pos, first-anchor
+        # edge-label id, more-than-one-anchor flag) — the anchor pair is
+        # (-1, -1) for unanchored depths.
+        self.meta = tuple(
+            (
+                aptr[d],
+                aptr[d + 1],
+                nptr[d],
+                nptr[d + 1],
+                vlabs[d],
+                self.mindeg[d],
+                apos[aptr[d]] if aptr[d + 1] > aptr[d] else -1,
+                aelab[aptr[d]] if aptr[d + 1] > aptr[d] else -1,
+                aptr[d + 1] > aptr[d] + 1,
+            )
+            for d in range(self.n)
+        )
 
 
 # One flat plan per live pattern instance, version-validated; plans are

@@ -71,6 +71,9 @@ SITE_SHM_ATTACH = faults.register_site(
 _MAGIC = b"RFLATDB1"
 _HEADER = len(_MAGIC) + 8 + 32 + 8  # magic + blob_len + sha256 + meta_len
 
+#: Cap on live plans per FlatDB admit/scan memo (see :class:`FlatDB`).
+ADMIT_MEMO_PLANS = 512
+
 
 # ----------------------------------------------------------------------
 # Label interning
@@ -132,6 +135,8 @@ class FlatGraph:
         "by_label",
         "ehist",
         "deg_by_label",
+        "runs",
+        "deg",
     )
 
     def __init__(self, n, m, vlab, indptr, nbr, elab, anbr=None, aelab=None) -> None:
@@ -161,14 +166,35 @@ class FlatGraph:
         for lid in elab:
             ehist[lid] = ehist.get(lid, 0) + 1
         self.ehist = ehist
+        # Degrees, materialized once: the matchers' candidate loops read
+        # them with one index instead of two row-pointer reads + a
+        # subtraction per candidate.
+        deg = array("i", (indptr[v + 1] - indptr[v] for v in range(n)))
+        self.deg = deg
         self.deg_by_label = {
-            lid: tuple(
-                sorted(
-                    (indptr[v + 1] - indptr[v] for v in vs), reverse=True
-                )
-            )
+            lid: tuple(sorted((deg[v] for v in vs), reverse=True))
             for lid, vs in by_label.items()
         }
+        # Per-(vertex, edge-label id) sub-run boundaries, keyed by the
+        # packed int ``(v << 32) | lid`` (int hashing is free; a tuple
+        # key would cost an allocation per probe).  Rows are sorted by
+        # (edge-label id, neighbor id), so each label's run is
+        # contiguous — the matchers locate an anchor's candidate run
+        # with one dict probe instead of two bisects, and a missing key
+        # is a guaranteed non-edge.
+        runs: dict[int, tuple[int, int]] = {}
+        k = 0
+        for v in range(n):
+            hi = indptr[v + 1]
+            base = v << 32
+            while k < hi:
+                lab = elab[k]
+                start = k
+                k += 1
+                while k < hi and elab[k] == lab:
+                    k += 1
+                runs[base | lab] = (start, k)
+        self.runs = runs
 
     @classmethod
     def from_labeled(
@@ -245,21 +271,45 @@ class FlatDB:
     attached from shared memory is immutable and carries no stamps.
 
     ``admit_memo`` caches :func:`repro.perf.fastmatch.flat_admits`
-    verdicts per plan (plan -> gid -> reason).  Both sides of an admit
-    are immutable — a mutated pattern compiles to a *new* plan object
-    and a mutated database compiles to a new FlatDB — so entries can
-    never go stale; repeated support counts over the same database
-    (recount passes, merge levels) skip the invariant loops entirely.
+    verdicts per plan (plan -> gid -> reason) and ``scan_memo`` caches
+    whole full-database admit passes (plan -> admitted pair list) for
+    the batched scan kernel.  Both sides of an admit are immutable — a
+    mutated pattern compiles to a *new* plan object and a mutated
+    database compiles to a new FlatDB (version stamps) — so entries can
+    never go *stale*; they could however *accumulate*: plans retired by
+    pattern churn used to survive here forever, pinning their memos for
+    the lifetime of the FlatDB.  Both memos are therefore weakly keyed
+    (a dead plan's entries vanish with it) and capped at
+    :data:`ADMIT_MEMO_PLANS` live plans (both memos are dropped
+    wholesale at the cap — they are pure memoization, so correctness is
+    unaffected), which bounds memory over long incremental runs.
     """
 
-    __slots__ = ("gids", "flats", "admit_memo", "_stamps", "_segment")
+    __slots__ = (
+        "gids", "flats", "admit_memo", "scan_memo", "_stamps", "_segment",
+    )
 
     def __init__(self, gids, flats, stamps=None, segment=None) -> None:
         self.gids = gids
         self.flats = flats
-        self.admit_memo: dict = {}
+        self.admit_memo: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.scan_memo: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         self._stamps = stamps
         self._segment = segment
+
+    def plan_memo(self, plan) -> dict:
+        """The per-gid admit memo of ``plan``, enforcing the plan cap."""
+        memo = self.admit_memo.get(plan)
+        if memo is None:
+            if len(self.admit_memo) >= ADMIT_MEMO_PLANS:
+                self.admit_memo.clear()
+                self.scan_memo.clear()
+            memo = self.admit_memo[plan] = {}
+        return memo
 
     @classmethod
     def compile(cls, database: GraphDatabase) -> "FlatDB":
@@ -301,17 +351,41 @@ class FlatDB:
             (gid, self.flats[gid].to_labeled()) for gid in self.gids
         )
 
+    def adopt(self, database: GraphDatabase) -> None:
+        """Register this FlatDB as ``database``'s flat compilation.
+
+        For worker processes that rebuilt ``database`` from this very
+        FlatDB (:meth:`to_database` over an attached shared-memory
+        segment): version stamps are recorded against the rebuilt graph
+        instances, so :func:`get_flat_db` serves the zero-copy segment
+        views directly and the worker never recompiles CSR buffers it
+        already has mapped.  The mapping must outlive the database —
+        adopting ties their lifetimes together via the cache entry, and
+        an atexit release unmaps in order (views first, then the
+        mapping) so interpreter shutdown never tears them down with
+        memoryviews still exported.
+        """
+        self._stamps = [
+            (gid, weakref.ref(graph), graph.version)
+            for gid, graph in database
+        ]
+        _FLAT_DBS[database] = self
+        atexit.register(self.release)
+
     def release(self) -> None:
         """Drop the shared-memory mapping backing an attached FlatDB.
 
-        The flat graphs are views into the mapping, so they are cleared
-        first — ``close`` cannot unmap while exported pointers exist.
+        The flat graphs are views into the mapping, so they — and the
+        scan memo, which holds ``(gid, FlatGraph)`` pairs — are cleared
+        first: ``close`` cannot unmap while exported pointers exist.
         The FlatDB is unusable afterwards.
         """
         segment = self._segment
         if segment is not None:
             self._segment = None
             self.flats = {}
+            self.admit_memo.clear()
+            self.scan_memo.clear()
             try:
                 segment.close()
             except Exception:

@@ -91,7 +91,11 @@ def resolve_payload_database(payload: dict) -> GraphDatabase:
     (the original protocol), ``shm`` names a shared-memory flat-array
     segment published by the parent (see
     :mod:`repro.perf.flatgraph`) — the worker maps it, rebuilds the
-    graphs, and drops the mapping immediately.
+    graphs, and **adopts** the mapping as the rebuilt database's flat
+    compilation, so the worker's own support counting runs straight on
+    the zero-copy segment views instead of recompiling CSR buffers it
+    already has mapped.  The mapping is held for the worker process's
+    lifetime (one attempt per process; the OS reclaims it on exit).
     """
     name = payload.get("shm")
     if name is not None:
@@ -99,9 +103,12 @@ def resolve_payload_database(payload: dict) -> GraphDatabase:
 
         flat = attach_segment(name)
         try:
-            return flat.to_database()
-        finally:
+            database = flat.to_database()
+        except BaseException:
             flat.release()
+            raise
+        flat.adopt(database)
+        return database
     return GraphDatabase(payload["graphs"])
 
 

@@ -267,14 +267,55 @@ class QueryEngine:
         stats.candidates = len(candidates)
 
         supporting = set()
-        for gid in sorted(candidates):
-            if deadline is not None:
-                deadline.check("match query")
-            graph = self.database[gid]
-            if self._cached_verdict(
-                key, graph, pattern, induced, stats, use_cache=accel
-            ):
-                supporting.add(gid)
+        order = sorted(candidates)
+        if accel and order and deadline is None and perf.batch_enabled():
+            # Batched kernel: one fused admit+search frame over the whole
+            # candidate list.  Cache probes stay out here (the kernel is
+            # probe-free by contract); deadline-bearing queries keep the
+            # per-graph loop so expiry is still checked between searches.
+            flat = perf.get_flat_db(self.database)
+            flat_plan = perf.get_flat_plan(pattern)
+            if key is not None:
+                unresolved = []
+                with self._lock:
+                    for gid in order:
+                        verdict = self.support_cache.get(
+                            key, self.database[gid], induced=induced
+                        )
+                        if verdict is None:
+                            unresolved.append(gid)
+                        else:
+                            stats.support_cache_hits += 1
+                            if verdict:
+                                supporting.add(gid)
+            else:
+                unresolved = order
+            scan = perf.flat_count_batch(
+                flat_plan,
+                flat,
+                unresolved,
+                induced=induced,
+                arena=perf.local_arena(),
+            )
+            hits = set(scan.hits)
+            supporting |= hits
+            stats.searches += scan.searched
+            if key is not None and unresolved:
+                with self._lock:
+                    for gid in unresolved:
+                        self.support_cache.put(
+                            key, self.database[gid], gid in hits,
+                            induced=induced,
+                        )
+        else:
+            for gid in order:
+                if deadline is not None:
+                    deadline.check("match query")
+                graph = self.database[gid]
+                if self._cached_verdict(
+                    key, graph, pattern, induced, stats, use_cache=accel
+                ):
+                    supporting.add(gid)
         answer = frozenset(supporting)
         if lru_key is not None:
             self._lru_put(lru_key, answer)

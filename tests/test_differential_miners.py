@@ -157,15 +157,19 @@ class TestAsPartMinerUnitMiners:
 # ----------------------------------------------------------------------
 class TestAccelMatrix:
     """The acceleration layer is an *optimization*, never a semantic:
-    accel off, match plans only, plans + flat kernels, and plans + flat
-    + shared-memory workers must all mine byte-identical pattern sets.
+    accel off, match plans only, plans + flat kernels (per-graph
+    dispatch), plans + flat + the batched scan kernel, and the full
+    stack over shared-memory workers must all mine byte-identical
+    pattern sets.
 
     The matrix is the lockdown for the flat-array kernels
-    (:mod:`repro.perf.fastmatch`) and the cs/0112007 join bound wired
-    into :mod:`repro.core.mergejoin` — any unsound shortcut in either
-    shows up here as a divergence from the accel-off baseline."""
+    (:mod:`repro.perf.fastmatch`), the batched scan kernel with its
+    minsup early exits (:mod:`repro.perf.batchscan`) and the cs/0112007
+    join bound wired into :mod:`repro.core.mergejoin` — any unsound
+    shortcut in any of them shows up here as a divergence from the
+    accel-off baseline."""
 
-    MODES = ("off", "plans", "flat", "flat+shm")
+    MODES = ("off", "plans", "flat", "flat+batch", "flat+shm")
 
     @staticmethod
     def mine_in_mode(mode: str, db, threshold: int):
@@ -183,6 +187,11 @@ class TestAccelMatrix:
                     db, threshold
                 )
         if mode == "flat":
+            with perf.batch_disabled():
+                return PartMiner(k=2, unit_support="exact").mine(
+                    db, threshold
+                )
+        if mode == "flat+batch":
             return PartMiner(k=2, unit_support="exact").mine(db, threshold)
         if mode == "flat+shm":
             return PartMiner(
@@ -230,8 +239,15 @@ class TestAccelMatrix:
             off = MONOMORPHIC_MINERS[name]().mine(db, 3)
         with perf.flat_disabled():
             plans = MONOMORPHIC_MINERS[name]().mine(db, 3)
-        flat = MONOMORPHIC_MINERS[name]().mine(db, 3)
-        for got, mode in ((off, "off"), (plans, "plans"), (flat, "flat")):
+        with perf.batch_disabled():
+            flat = MONOMORPHIC_MINERS[name]().mine(db, 3)
+        batch = MONOMORPHIC_MINERS[name]().mine(db, 3)
+        for got, mode in (
+            (off, "off"),
+            (plans, "plans"),
+            (flat, "flat"),
+            (batch, "flat+batch"),
+        ):
             assert_same_patterns(got, want, f"{name}[{mode}]")
 
 
