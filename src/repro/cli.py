@@ -95,6 +95,68 @@ def _load_database(args: argparse.Namespace, path=None):
     return database
 
 
+def _add_storage_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the storage-backend flags to a database subcommand."""
+    parser.add_argument(
+        "--backend", choices=["memory", "sqlite"], default="memory",
+        help="storage engine for the graph database (and, for serve, "
+             "the catalog): 'memory' keeps everything resident "
+             "(default); 'sqlite' streams graphs from an on-disk "
+             "database through a bounded decode cache",
+    )
+    parser.add_argument(
+        "--db-path", default=None,
+        help="SQLite database file (required with --backend sqlite); "
+             "the input .tve is imported into it incrementally — "
+             "unchanged rows are not rewritten",
+    )
+    parser.add_argument(
+        "--graph-cache", type=int, default=None,
+        help="decoded graphs the sqlite backend keeps in memory "
+             "(default 256); the knob that bounds resident set size",
+    )
+
+
+def _check_storage_flags(args: argparse.Namespace) -> bool:
+    """Validate the storage flag combination; prints usage errors."""
+    if (
+        getattr(args, "backend", "memory") == "sqlite"
+        and not getattr(args, "db_path", None)
+    ):
+        print(
+            "repro: --backend sqlite requires --db-path", file=sys.stderr
+        )
+        return False
+    return True
+
+
+def _storage_database(args: argparse.Namespace):
+    """``(database, backend)`` honoring the storage flags.
+
+    With ``--backend sqlite`` the ``.tve`` input is upserted into the
+    database file (checksum-compared, so a re-run over unchanged input
+    writes nothing) and the returned database is the lazily-decoding
+    store view; the in-memory parse is dropped before mining/serving
+    starts.  The memory backend returns ``(resident database, None)``.
+    """
+    if getattr(args, "backend", "memory") != "sqlite":
+        return _load_database(args), None
+    from .storage import open_backend
+
+    backend = open_backend(
+        "sqlite", args.db_path, cache_graphs=args.graph_cache
+    )
+    source = _load_database(args)
+    written = backend.import_database(source)
+    backend.checkpoint()
+    del source
+    print(
+        f"storage: sqlite backend {args.db_path} "
+        f"({backend.num_graphs()} graphs, {written} rows written)"
+    )
+    return backend.database(), backend
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -112,7 +174,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_mine(args: argparse.Namespace) -> int:
     """Mine frequent patterns with the chosen algorithm."""
-    database = _load_database(args)
+    if not _check_storage_flags(args):
+        return 2
+    database, _storage = _storage_database(args)
     start = time.perf_counter()
     if args.algorithm == "partminer":
         partitioner = None
@@ -134,6 +198,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 unit_timeout=args.unit_timeout,
                 max_retries=args.retries,
                 shared_db=not args.no_shared_db,
+                spill_dir=args.spill_dir,
             )
         trace_sink = None
         trace_id = None
@@ -205,7 +270,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
             miner = ADIMiner(max_size=args.max_size)
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(args.algorithm)
-        patterns = miner.mine(database, args.support)
+        try:
+            patterns = miner.mine(database, args.support)
+        finally:
+            # ADIMINE owns a paged temp file; the in-memory miners
+            # have nothing to release.
+            close = getattr(miner, "close", None)
+            if close is not None:
+                close()
         timing = f"{time.perf_counter() - start:.2f}s"
     if args.metrics:
         from .obs import metrics as obs_metrics
@@ -224,6 +296,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 "database": args.database,
                 "support": args.support,
                 "algorithm": args.algorithm,
+                "backend": args.backend,
             },
             atomic=True,
         )
@@ -345,7 +418,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     the default is the linear :func:`repro.query.match_patterns` scan.
     Both paths produce identical supports and TID lists.
     """
-    database = _load_database(args)
+    if not _check_storage_flags(args):
+        return 2
+    database, _storage = _storage_database(args)
     patterns, _ = read_patterns(args.patterns)
     start = time.perf_counter()
     if args.via_index:
@@ -408,8 +483,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Publish (optionally) and serve a pattern catalog over HTTP."""
     from .serve import PatternCatalog, PatternService
 
-    database = _load_database(args)
-    catalog = PatternCatalog(args.catalog)
+    if not _check_storage_flags(args):
+        return 2
+    database, storage = _storage_database(args)
+    catalog = PatternCatalog(args.catalog, storage=storage)
     if args.patterns:
         patterns, meta = read_patterns(args.patterns)
         snapshot = catalog.publish(patterns, meta=meta, database=database)
@@ -578,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="capture per-phase cProfile reports into the "
                         "run dir (partminer only)")
+    p.add_argument("--spill-dir", default=None,
+                   help="spill unit databases into per-unit SQLite files "
+                        "here so parallel workers stream them through "
+                        "read-only connections instead of receiving "
+                        "pickled graphs (partminer --parallel only)")
+    _add_storage_flags(p)
     _add_parse_policy(p)
     p.set_defaults(func=cmd_mine)
 
@@ -644,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-support", type=_support, default=None)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--output", help="save relocated patterns here")
+    _add_storage_flags(p)
     _add_parse_policy(p)
     p.set_defaults(func=cmd_query)
 
@@ -664,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "hot-reload new snapshots")
     p.add_argument("--telemetry", default=None,
                    help="write a serving telemetry JSON on shutdown")
+    _add_storage_flags(p)
     _add_parse_policy(p)
     p.set_defaults(func=cmd_serve)
 

@@ -18,10 +18,24 @@ from .labeled_graph import Label, LabeledGraph
 
 
 class GraphDatabase:
-    """An ordered mapping from graph id to :class:`LabeledGraph`."""
+    """An ordered mapping from graph id to :class:`LabeledGraph`.
 
-    def __init__(self, graphs: Iterable[tuple[int, LabeledGraph]] = ()) -> None:
-        self._graphs: dict[int, LabeledGraph] = {}
+    The mapping itself is pluggable: by default graphs live in a plain
+    dict (everything resident), but a storage backend may supply a
+    ``store`` speaking the same protocol — e.g.
+    :class:`repro.storage.sqlite.SQLiteGraphStore`, which decodes rows
+    on demand through a bounded LRU so iteration over a database larger
+    than RAM streams instead of accumulating.  All methods below go
+    through the mapping protocol only, so they work over any store.
+    """
+
+    def __init__(
+        self,
+        graphs: Iterable[tuple[int, LabeledGraph]] = (),
+        *,
+        store=None,
+    ) -> None:
+        self._graphs = store if store is not None else {}
         for gid, graph in graphs:
             self.add(gid, graph)
 
@@ -73,8 +87,24 @@ class GraphDatabase:
         return list(self._graphs)
 
     def graphs(self) -> Iterator[LabeledGraph]:
-        """Iterate the graphs (without their gids)."""
+        """Iterate the graphs (without their gids).
+
+        Over a disk-backed store this is a lazy decode stream — each
+        graph is materialized on demand and only a bounded cache of
+        decoded graphs is kept alive.
+        """
         return iter(self._graphs.values())
+
+    def state_token(self):
+        """A value that changes whenever the database content changes.
+
+        ``None`` for plain in-memory databases (callers fall back to
+        per-graph identity/version stamps); a stable comparable token for
+        store-backed databases, where object identity is meaningless
+        because decoded graphs are evicted and re-decoded.
+        """
+        token = getattr(self._graphs, "state_token", None)
+        return token() if token is not None else None
 
     # ------------------------------------------------------------------
     # Acceleration
@@ -99,11 +129,21 @@ class GraphDatabase:
     # Statistics
     # ------------------------------------------------------------------
     def total_edges(self) -> int:
-        """Sum of edge counts over all graphs."""
+        """Sum of edge counts over all graphs.
+
+        Store-backed databases answer this from indexed columns without
+        decoding any graph.
+        """
+        fast = getattr(self._graphs, "total_edges", None)
+        if fast is not None:
+            return fast()
         return sum(g.num_edges for g in self._graphs.values())
 
     def total_vertices(self) -> int:
         """Sum of vertex counts over all graphs."""
+        fast = getattr(self._graphs, "total_vertices", None)
+        if fast is not None:
+            return fast()
         return sum(g.num_vertices for g in self._graphs.values())
 
     def average_size(self) -> float:

@@ -75,6 +75,16 @@ class ADIIndex:
         self.built = False
         self.build_count = 0
 
+    def close(self) -> None:
+        """Release the backing page storage (and its temp file)."""
+        self.storage.close()
+
+    def __enter__(self) -> "ADIIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     def build(self, database: GraphDatabase) -> None:
         """(Re)build the whole index from ``database``.

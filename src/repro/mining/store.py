@@ -16,10 +16,15 @@ Format (one JSON object per line)::
 ``version`` is the container format (JSON lines, header first);
 ``schema_version`` describes the pattern records.  Schema 1 (the
 original) had no ``support`` field and no ``schema_version`` header
-entry; schema-1 files are upgraded transparently on load.  Files written
-by a *newer* schema are rejected with a clear error instead of failing
-deep inside record parsing, and records missing required fields raise
-:class:`ValueError` naming the field (not an opaque ``KeyError``).
+entry; schema 2 added per-record ``support``; schema 3 adds a
+``backend`` header tag recording which storage engine
+(:mod:`repro.storage`) produced the artifact — older files are upgraded
+transparently on load (the tag defaults to ``"memory"``, which is what
+every pre-storage file was).  Files written by a *newer* schema are
+rejected with a clear error naming the offending version and the file
+path instead of failing deep inside record parsing, and records missing
+required fields raise :class:`ValueError` naming the field (not an
+opaque ``KeyError``).
 """
 
 from __future__ import annotations
@@ -35,7 +40,10 @@ from ..resilience.errors import ArtifactCorrupt
 from .base import Pattern, PatternSet
 
 FORMAT_VERSION = 1
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: Header backend tag every pre-schema-3 file implicitly carried.
+DEFAULT_BACKEND_TAG = "memory"
 
 _REQUIRED_FIELDS = ("vertices", "edges", "tids")
 
@@ -90,17 +98,23 @@ def dump_patterns(
     }
     if meta:
         header.update(meta)
+    header.setdefault("backend", DEFAULT_BACKEND_TAG)
     out.write(json.dumps(header) + "\n")
     for pattern in sorted(patterns, key=lambda p: (p.size, -p.support)):
         out.write(json.dumps(_pattern_record(pattern)) + "\n")
 
 
-def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
+def load_patterns(
+    lines: Iterator[str] | IO[str], path: str | Path | None = None
+) -> tuple[PatternSet, dict]:
     """Read a pattern set written by :func:`dump_patterns`.
 
     Returns ``(patterns, header_meta)``.  Raises :class:`ValueError` on a
-    missing/foreign header or an unsupported version.
+    missing/foreign header or an unsupported version; ``path``, when
+    known, is named in those errors.  Older schemas are upgraded on
+    load, so the returned meta always carries a ``backend`` tag.
     """
+    where = f"{path}: " if path is not None else ""
     iterator = iter(lines)
     try:
         header = json.loads(next(iterator))
@@ -117,9 +131,9 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
         raise ValueError(f"invalid schema_version {schema!r}")
     if schema > SCHEMA_VERSION:
         raise ValueError(
-            f"pattern file uses schema_version {schema}, this library "
-            f"supports up to {SCHEMA_VERSION} — upgrade the library or "
-            f"re-export the patterns"
+            f"{where}pattern file uses schema_version {schema}, this "
+            f"library supports up to {SCHEMA_VERSION} — upgrade the "
+            f"library or re-export the patterns"
         )
     patterns = PatternSet()
     for line in iterator:
@@ -143,11 +157,14 @@ def load_patterns(lines: Iterator[str] | IO[str]) -> tuple[PatternSet, dict]:
             f"pattern count mismatch: header says {expected}, "
             f"file holds {len(patterns)}"
         )
-    return patterns, {
+    meta = {
         k: v
         for k, v in header.items()
         if k not in ("kind", "version", "schema_version", "patterns")
     }
+    # Schema < 3 predates storage backends: everything was in-memory.
+    meta.setdefault("backend", DEFAULT_BACKEND_TAG)
+    return patterns, meta
 
 
 def save_patterns(
@@ -193,7 +210,7 @@ def read_patterns(path: str | Path) -> tuple[PatternSet, dict]:
     path = Path(path)
     text = integrity.read_checked(path)
     try:
-        return load_patterns(iter(text.splitlines()))
+        return load_patterns(iter(text.splitlines()), path=path)
     except ArtifactCorrupt:
         raise
     except ValueError as exc:

@@ -496,6 +496,38 @@ def count_http_request(route: str, outcome: str) -> None:
     ).labels(route=route, outcome=outcome).inc()
 
 
+def count_storage_op(table: str, op: str) -> None:
+    """Record one storage-backend row operation (read/write/delete)."""
+    if not switch.enabled():
+        return
+    REGISTRY.counter(
+        "repro_storage_ops_total",
+        "Storage-backend row operations by table and operation",
+        labels=("table", "op"),
+    ).labels(table=table, op=op).inc()
+
+
+def count_storage_cache(hit: bool) -> None:
+    """Record one decoded-graph cache probe of the storage backend."""
+    if not switch.enabled():
+        return
+    REGISTRY.counter(
+        "repro_storage_cache_total",
+        "Storage-backend decoded-graph cache probes by result",
+        labels=("result",),
+    ).labels(result="hit" if hit else "miss").inc()
+
+
+def set_storage_cache_entries(entries: int) -> None:
+    """Publish the storage backend's decoded-graph cache occupancy."""
+    if not switch.enabled():
+        return
+    REGISTRY.gauge(
+        "repro_storage_cache_entries",
+        "Decoded graphs currently held by the storage-backend cache",
+    ).set(entries)
+
+
 def timed(fn: Callable[[], object], phase: str):
     """Run ``fn`` and record its duration as a phase observation."""
     import time

@@ -315,11 +315,26 @@ class FlatDB:
     def compile(cls, database: GraphDatabase) -> "FlatDB":
         gids = []
         flats = {}
-        stamps = []
+        # Store-backed databases (repro.storage) evict and re-decode
+        # graphs at will, so identity/version stamps would invalidate on
+        # every cache turnover and recompile the world.  They provide a
+        # persisted state token instead: one comparison validates the
+        # whole FlatDB without touching (= decoding) a single graph.
+        token = (
+            database.state_token()
+            if hasattr(database, "state_token")
+            else None
+        )
         for gid, graph in database:
             gids.append(gid)
             flats[gid] = FlatGraph.from_labeled(graph)
-            stamps.append((gid, weakref.ref(graph), graph.version))
+        if token is not None:
+            stamps = ("token", token)
+        else:
+            stamps = [
+                (gid, weakref.ref(database[gid]), database[gid].version)
+                for gid in gids
+            ]
         COUNTERS.inc("flat_db_compiles")
         return cls(gids, flats, stamps)
 
@@ -328,11 +343,19 @@ class FlatDB:
 
         Reads the database's gid map directly — this runs once per
         :func:`count_support` call, so the per-stamp cost (one dict get,
-        one weakref deref, one attribute read) matters.
+        one weakref deref, one attribute read) matters.  Token-stamped
+        FlatDBs (store-backed databases) compare one persisted counter
+        instead.
         """
         stamps = self._stamps
+        if stamps is None:
+            return False
+        if type(stamps) is tuple and stamps[0] == "token":
+            if not hasattr(database, "state_token"):
+                return False
+            return database.state_token() == stamps[1]
         graphs = database._graphs
-        if stamps is None or len(stamps) != len(graphs):
+        if len(stamps) != len(graphs):
             return False
         for gid, ref, version in stamps:
             graph = graphs.get(gid)

@@ -49,6 +49,15 @@ class RuntimeConfig:
         while the acceleration layer is on (``--no-accel`` disables it
         with everything else); any publish/attach failure falls back to
         pickled payloads for that unit.
+    spill_dir:
+        When set, unit databases whose graphs live in a SQLite storage
+        backend (:mod:`repro.storage`) are shipped to workers as
+        ``(db path, gid list)`` references instead of pickled graphs or
+        shared-memory segments: each worker opens its own read-only
+        connection and streams rows through a bounded decode cache, so
+        the parent never materializes the unit.  The directory itself is
+        where in-memory databases are spilled to SQLite first when the
+        source database is not already on disk.
     """
 
     max_workers: int | None = None
@@ -61,6 +70,7 @@ class RuntimeConfig:
     start_method: str | None = None
     kill_grace: float = 5.0
     shared_db: bool = True
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.fallback not in FALLBACKS:

@@ -87,16 +87,33 @@ def decode_patterns(raw: object) -> PatternSet:
 def resolve_payload_database(payload: dict) -> GraphDatabase:
     """The unit database a worker payload describes.
 
-    Two wire forms: ``graphs`` carries a pickled ``(gid, graph)`` list
-    (the original protocol), ``shm`` names a shared-memory flat-array
+    Three wire forms: ``graphs`` carries a pickled ``(gid, graph)`` list
+    (the original protocol); ``shm`` names a shared-memory flat-array
     segment published by the parent (see
     :mod:`repro.perf.flatgraph`) — the worker maps it, rebuilds the
     graphs, and **adopts** the mapping as the rebuilt database's flat
     compilation, so the worker's own support counting runs straight on
     the zero-copy segment views instead of recompiling CSR buffers it
-    already has mapped.  The mapping is held for the worker process's
-    lifetime (one attempt per process; the OS reclaims it on exit).
+    already has mapped; ``sqlite`` references a storage-backend database
+    file (path + optional gid subset + cache budget) — the worker opens
+    its **own read-only connection** (never the parent's, which does not
+    survive a fork) and streams rows through a bounded decode cache, so
+    a unit larger than RAM never materializes in the worker either.
+    Resources are held for the worker process's lifetime (one attempt
+    per process; the OS reclaims them on exit, and the storage layer's
+    atexit sweep closes connections).
     """
+    spec = payload.get("sqlite")
+    if spec is not None:
+        from ..storage.backend import open_backend
+
+        backend = open_backend(
+            "sqlite",
+            spec["path"],
+            cache_graphs=spec.get("cache"),
+            read_only=True,
+        )
+        return backend.database(gids=spec.get("gids"))
     name = payload.get("shm")
     if name is not None:
         from ..perf.flatgraph import attach_segment
@@ -564,6 +581,13 @@ def run_unit_mining(
     fault site); any failure quietly reverts that unit to the pickled
     payload.  Segments are always destroyed before this function returns,
     so crashed or killed workers cannot leak them.
+
+    Disk-backed units take precedence over both: a unit whose database
+    already lives in a SQLite storage backend ships only a read-only
+    database reference, and with ``config.spill_dir`` set, in-memory
+    unit databases are first *spilled* into per-unit SQLite files there
+    — either way workers open their own connections and the parent never
+    pickles a graph list.  Spill files are removed before returning.
     """
     from .. import perf
 
@@ -582,8 +606,40 @@ def run_unit_mining(
     resolved_config = config or RuntimeConfig()
     use_shm = resolved_config.shared_db and perf.enabled()
     segments = []
+    spilled: list = []
 
-    def unit_payload(unit, threshold) -> dict:
+    def sqlite_spec(index: int, database: GraphDatabase):
+        """A ``sqlite`` payload spec for the unit, or ``None``."""
+        store = getattr(database, "_graphs", None)
+        spec = getattr(store, "payload_spec", None)
+        if spec is not None:
+            return spec()
+        if resolved_config.spill_dir is None:
+            return None
+        from pathlib import Path
+
+        from ..storage.sqlite import SQLiteBackend
+
+        spill_dir = Path(resolved_config.spill_dir)
+        spill_dir.mkdir(parents=True, exist_ok=True)
+        path = spill_dir / f"unit-{index:04d}.db"
+        backend = SQLiteBackend(path)
+        try:
+            backend.import_database(database)
+            backend.checkpoint()
+        finally:
+            backend.close()
+        spilled.append(path)
+        return {"path": str(path.resolve()), "gids": None, "cache": None}
+
+    def unit_payload(index, unit, threshold) -> dict:
+        spec = sqlite_spec(index, unit.database)
+        if spec is not None:
+            return {
+                "sqlite": spec,
+                "threshold": threshold,
+                "max_size": max_size,
+            }
         payload = {
             "graphs": list(unit.database),
             "threshold": threshold,
@@ -618,7 +674,7 @@ def run_unit_mining(
     tasks = [
         UnitTask(
             index=i,
-            payload=unit_payload(unit, threshold),
+            payload=unit_payload(i, unit, threshold),
             fallback=make_fallback(unit, threshold),
             checkpoint_meta={"threshold": threshold},
         )
@@ -632,3 +688,10 @@ def run_unit_mining(
     finally:
         for segment in segments:
             segment.destroy()
+        for path in spilled:
+            for side in (path, path.with_name(path.name + "-wal"),
+                         path.with_name(path.name + "-shm")):
+                try:
+                    side.unlink()
+                except OSError:
+                    pass

@@ -116,10 +116,23 @@ class CatalogSnapshot:
 
 
 class PatternCatalog:
-    """A directory of versioned pattern snapshots (see module docs)."""
+    """A directory of versioned pattern snapshots (see module docs).
 
-    def __init__(self, path: str | Path) -> None:
+    With ``storage`` set to a :class:`repro.storage.sqlite.SQLiteBackend`
+    the snapshots live as queryable tables in the backend's database
+    file instead of per-snapshot JSONL directories: publishing writes
+    one transaction, loading returns a *lazy* snapshot whose pattern
+    rows decode on access, and corruption fallback walks the stored
+    versions.  ``manifest.json`` is still written either way — it is the
+    cheap hot-reload poll, and its ``backend`` field tells readers where
+    the snapshot bodies are.
+    """
+
+    def __init__(self, path: str | Path, storage=None) -> None:
         self.path = Path(path)
+        self.storage = storage if storage is not None and getattr(
+            storage, "name", "memory"
+        ) != "memory" else None
 
     # ------------------------------------------------------------------
     # Manifest
@@ -166,16 +179,24 @@ class PatternCatalog:
         previous = self.current_version()
         version = 1 if previous is None else previous + 1
         ordered = catalog_order(patterns)
-        index = FragmentIndex.build(
-            (pattern.graph for pattern in ordered), database
-        )
         snapshot_name = f"snapshot-{version:06d}"
-        snapshot_dir = self.path / snapshot_name
-        snapshot_dir.mkdir(parents=True, exist_ok=True)
-        save_patterns(
-            patterns, snapshot_dir / PATTERNS_NAME, meta=meta, atomic=True
-        )
-        index.save(snapshot_dir / INDEX_NAME)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if self.storage is not None:
+            meta.setdefault("backend", self.storage.name)
+            self.storage.save_snapshot(version, ordered, meta, database)
+            snapshot = self.storage.load_snapshot(version)
+        else:
+            index = FragmentIndex.build(
+                (pattern.graph for pattern in ordered), database
+            )
+            snapshot_dir = self.path / snapshot_name
+            snapshot_dir.mkdir(parents=True, exist_ok=True)
+            save_patterns(
+                patterns, snapshot_dir / PATTERNS_NAME, meta=meta,
+                atomic=True,
+            )
+            index.save(snapshot_dir / INDEX_NAME)
+            snapshot = CatalogSnapshot(version, patterns, index, meta)
         manifest = {
             "format": CATALOG_FORMAT_VERSION,
             "version": version,
@@ -183,13 +204,24 @@ class PatternCatalog:
             "patterns": len(patterns),
             "published_at": time.time(),
         }
+        if self.storage is not None:
+            manifest["backend"] = self.storage.name
         integrity.atomic_write_json(self.path / MANIFEST_NAME, manifest)
-        return CatalogSnapshot(version, patterns, index, meta)
+        return snapshot
 
     def _load_version(
         self, version: int, snapshot_name: str, expected: int | None
     ) -> CatalogSnapshot:
-        """Load one snapshot directory, validating the pattern count."""
+        """Load one snapshot, validating the pattern count."""
+        if self.storage is not None:
+            snapshot = self.storage.load_snapshot(version)
+            if expected not in (None, len(snapshot.entries)):
+                raise ValueError(
+                    f"stored snapshot {version} holds "
+                    f"{len(snapshot.entries)} patterns, manifest says "
+                    f"{expected}"
+                )
+            return snapshot
         snapshot_dir = self.path / snapshot_name
         patterns, meta = read_patterns(snapshot_dir / PATTERNS_NAME)
         index = FragmentIndex.load(snapshot_dir / INDEX_NAME)
@@ -258,7 +290,9 @@ class PatternCatalog:
     # Maintenance
     # ------------------------------------------------------------------
     def versions_on_disk(self) -> list[int]:
-        """All snapshot versions present in the directory, ascending."""
+        """All snapshot versions present on disk, ascending."""
+        if self.storage is not None:
+            return self.storage.snapshot_versions()
         versions = []
         if not self.path.exists():
             return versions
@@ -283,7 +317,10 @@ class PatternCatalog:
         for version in self.versions_on_disk()[:-keep]:
             if version == current:
                 continue
-            shutil.rmtree(self.path / f"snapshot-{version:06d}")
+            if self.storage is not None:
+                self.storage.delete_snapshot(version)
+            else:
+                shutil.rmtree(self.path / f"snapshot-{version:06d}")
             removed.append(version)
         return removed
 

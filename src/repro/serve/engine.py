@@ -163,10 +163,16 @@ class QueryEngine:
     def _db_token(self) -> tuple:
         """A value that changes whenever any database graph changes.
 
-        Built from the gid -> version map; in-place mutations bump a
+        Store-backed databases provide a persisted token (one counter
+        read — decoding every graph just to stamp a cache key would
+        defeat out-of-core serving).  In-memory databases build the
+        token from the gid -> version map; in-place mutations bump a
         graph's version, replacements produce a fresh counter, so LRU
         entries computed against older database states never match.
         """
+        token = self.database.state_token()
+        if token is not None:
+            return token
         return tuple(
             (gid, graph.version) for gid, graph in self.database
         )
@@ -451,6 +457,11 @@ class QueryEngine:
         """
         if by not in ("support", "size"):
             raise ValueError(f"top_k by must be 'support' or 'size': {by!r}")
+        pushdown = getattr(self.snapshot, "top_k", None)
+        if pushdown is not None:
+            # Stored snapshots answer from an indexed ORDER BY ... LIMIT
+            # without materializing (or decoding) any entry but the k.
+            return pushdown(k, by=by)
         entries = sorted(
             self.snapshot.entries,
             key=lambda e: (-(e.support if by == "support" else e.size), e.pid),

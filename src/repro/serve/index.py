@@ -114,6 +114,10 @@ class FragmentIndex:
         }
         self.graph_fragment_sets = graph_fragment_sets
         self.graph_versions = graph_versions
+        # State token of the store-backed database this index was built
+        # over (None for in-memory databases and deserialized indexes);
+        # see stale_gids.
+        self._db_token = None
         self.graph_postings: dict[Fragment, frozenset[int]] | None = None
         if graph_fragment_sets is not None:
             gpost: dict[Fragment, set[int]] = {}
@@ -138,14 +142,17 @@ class FragmentIndex:
         pattern_fragments = [graph_fragments(p) for p in patterns]
         graph_sets = None
         graph_versions = None
+        token = None
         if database is not None:
-            graph_sets = {
-                gid: graph_fragments(graph) for gid, graph in database
-            }
-            graph_versions = {
-                gid: graph.version for gid, graph in database
-            }
-        return cls(pattern_fragments, graph_sets, graph_versions)
+            graph_sets = {}
+            graph_versions = {}
+            for gid, graph in database:
+                graph_sets[gid] = graph_fragments(graph)
+                graph_versions[gid] = graph.version
+            token = database.state_token()
+        index = cls(pattern_fragments, graph_sets, graph_versions)
+        index._db_token = token
+        return index
 
     @property
     def num_patterns(self) -> int:
@@ -238,7 +245,20 @@ class FragmentIndex:
         and must be treated as always-candidates by the caller.
         """
         if self.graph_versions is None:
-            return {gid for gid, _ in database}
+            return set(database.gids())
+        token = database.state_token()
+        if token is not None:
+            # Store-backed database: decoded graphs carry deterministic
+            # version counters that do NOT track row mutations, so the
+            # per-graph stamps below would be unsound here.  Compare the
+            # store's persisted token instead: unchanged store -> no
+            # drift; anything else (mutated store, index built over a
+            # different database, deserialized index) -> conservatively
+            # all-stale, which downstream means always-candidate,
+            # always-verified.
+            if self._db_token is not None and token == self._db_token:
+                return set()
+            return set(database.gids())
         versions = self.graph_versions
         return {
             gid

@@ -1,0 +1,39 @@
+"""Storage engines behind the graph database, catalog, and index.
+
+``open_backend("memory")`` is the extracted in-memory behaviour (the
+default); ``open_backend("sqlite", path)`` is the out-of-core engine.
+See DESIGN.md §14 for the schema and the atomicity/quarantine model.
+"""
+
+from .backend import (
+    BACKEND_NAMES,
+    SITE_STORAGE_READ,
+    SITE_STORAGE_WRITE,
+    MemoryBackend,
+    StorageBackend,
+    open_backend,
+)
+from .encoding import (
+    decode_graph,
+    decode_pattern,
+    encode_graph,
+    encode_pattern,
+    payload_sha,
+)
+from .lru import DEFAULT_CACHE_GRAPHS, GraphLRU
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_CACHE_GRAPHS",
+    "GraphLRU",
+    "MemoryBackend",
+    "SITE_STORAGE_READ",
+    "SITE_STORAGE_WRITE",
+    "StorageBackend",
+    "decode_graph",
+    "decode_pattern",
+    "encode_graph",
+    "encode_pattern",
+    "open_backend",
+    "payload_sha",
+]

@@ -1,0 +1,90 @@
+"""A bounded LRU of decoded graphs, with the stats the tests pin.
+
+The SQLite graph store decodes rows into :class:`LabeledGraph` objects
+on demand; this cache bounds how many decoded graphs the store keeps
+alive at once, which is what makes iteration over a database larger
+than RAM stream instead of accumulate.
+
+Beyond plain hit/miss counters it tracks ``max_live``: the high-water
+mark of decoded graphs *actually alive* (cached or still referenced by
+a caller), sampled through a ``WeakSet`` at every decode.  The
+out-of-core tests assert on it — a bounded cache is worthless if evicted
+graphs are silently retained elsewhere.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+
+DEFAULT_CACHE_GRAPHS = 256
+
+
+class GraphLRU:
+    """An ordered gid -> decoded-object cache with a hard entry cap."""
+
+    __slots__ = (
+        "capacity", "hits", "misses", "evictions", "max_cached",
+        "max_live", "_entries", "_live",
+    )
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = DEFAULT_CACHE_GRAPHS
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.max_cached = 0
+        self.max_live = 0
+        self._entries: OrderedDict = OrderedDict()
+        self._live: "weakref.WeakSet" = weakref.WeakSet()
+
+    def get(self, gid: int):
+        entry = self._entries.get(gid)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(gid)
+        return entry
+
+    def put(self, gid: int, value) -> None:
+        self._entries[gid] = value
+        self._entries.move_to_end(gid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self.max_cached = max(self.max_cached, len(self._entries))
+        try:
+            self._live.add(value)
+        except TypeError:
+            pass  # non-weakrefable values: max_live just undercounts
+        self.max_live = max(self.max_live, len(self._live))
+
+    def pop(self, gid: int) -> None:
+        self._entries.pop(gid, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def live(self) -> int:
+        """Decoded objects currently alive (cached or caller-held)."""
+        return len(self._live)
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "max_cached": self.max_cached,
+            "max_live": self.max_live,
+            "live": len(self._live),
+        }

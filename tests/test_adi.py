@@ -89,43 +89,43 @@ class TestSerialization:
 
 class TestADIIndex:
     def test_build_and_fetch(self, medium_db):
-        index = ADIIndex(BlockStorage(page_size=128))
-        index.build(medium_db)
-        assert len(index) == len(medium_db)
-        for gid, graph in medium_db:
-            fetched = index.fetch_graph(gid)
-            assert sorted(fetched.edges()) == sorted(graph.edges())
+        with ADIIndex(BlockStorage(page_size=128)) as index:
+            index.build(medium_db)
+            assert len(index) == len(medium_db)
+            for gid, graph in medium_db:
+                fetched = index.fetch_graph(gid)
+                assert sorted(fetched.edges()) == sorted(graph.edges())
 
     def test_multi_page_graphs(self):
         rng = random.Random(6)
         big = random_graph(rng, 40, 30)
         db = GraphDatabase.from_graphs([big])
-        index = ADIIndex(BlockStorage(page_size=64))
-        index.build(db)
-        fetched = index.fetch_graph(0)
-        assert sorted(fetched.edges()) == sorted(big.edges())
+        with ADIIndex(BlockStorage(page_size=64)) as index:
+            index.build(db)
+            fetched = index.fetch_graph(0)
+            assert sorted(fetched.edges()) == sorted(big.edges())
 
     def test_edge_table(self):
         db = GraphDatabase.from_graphs([triangle(), triangle()])
-        index = ADIIndex()
-        index.build(db)
-        assert index.edge_support((0, 0, 0)) == 2
-        assert index.graphs_with_edge((0, 0, 0)) == {0, 1}
-        assert index.edge_support((9, 9, 9)) == 0
+        with ADIIndex() as index:
+            index.build(db)
+            assert index.edge_support((0, 0, 0)) == 2
+            assert index.graphs_with_edge((0, 0, 0)) == {0, 1}
+            assert index.edge_support((9, 9, 9)) == 0
 
     def test_unbuilt_access_raises(self):
-        index = ADIIndex()
-        with pytest.raises(RuntimeError, match="stale or unbuilt"):
-            index.gids()
+        with ADIIndex() as index:
+            with pytest.raises(RuntimeError, match="stale or unbuilt"):
+                index.gids()
 
     def test_invalidate_forces_rebuild(self, medium_db):
-        index = ADIIndex()
-        index.build(medium_db)
-        index.invalidate()
-        with pytest.raises(RuntimeError):
-            index.fetch_graph(0)
-        index.build(medium_db)
-        assert index.build_count == 2
+        with ADIIndex() as index:
+            index.build(medium_db)
+            index.invalidate()
+            with pytest.raises(RuntimeError):
+                index.fetch_graph(0)
+            index.build(medium_db)
+            assert index.build_count == 2
 
 
 class TestADIMiner:

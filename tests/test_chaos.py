@@ -354,6 +354,63 @@ def scenario_obs_metrics_scrape(tmp_path, plan):
         assert after == patterns_baseline
 
 
+def scenario_storage_write(tmp_path, plan):
+    from repro.storage import open_backend
+
+    db = random_database(seed=4200 + SEED, num_graphs=6, n=5)
+    baseline = graph_io.dumps(db)
+    backend = open_backend("sqlite", tmp_path / "graphs.db")
+    try:
+        failed = False
+        with plan.active():
+            try:
+                backend.import_database(db)
+            except TYPED_FAILURES:
+                # The import transaction rolled back whole — the file
+                # holds either nothing or intact rows, never torn state.
+                failed = True
+        if not failed:
+            # The write "succeeded" but the bytes may have been mangled
+            # in flight: each row's sha256 was computed before the fault
+            # site, so the read side either returns the exact database
+            # or detects the damage and quarantines the row.
+            try:
+                assert graph_io.dumps(backend.database()) == baseline
+            except ArtifactCorrupt as exc:
+                assert exit_code_for(exc) == 3
+                assert exc.quarantined.exists()
+        # Recovery: corrupt rows were deleted at quarantine time, so a
+        # clean re-import heals and reads back identical.
+        backend.import_database(db)
+        assert graph_io.dumps(backend.database()) == baseline
+    finally:
+        backend.close()
+
+
+def scenario_storage_read(tmp_path, plan):
+    from repro.storage import open_backend
+
+    db = random_database(seed=4300 + SEED, num_graphs=6, n=5)
+    baseline = graph_io.dumps(db)
+    backend = open_backend("sqlite", tmp_path / "graphs.db")
+    try:
+        backend.import_database(db)
+        with plan.active():
+            try:
+                assert graph_io.dumps(backend.database()) == baseline
+            except ArtifactCorrupt as exc:
+                assert exit_code_for(exc) == 3
+                assert exc.quarantined.exists()
+            except TYPED_FAILURES:
+                pass
+        # Recovery: the bad row (if any) was quarantined and deleted;
+        # re-importing restores it and a clean read is the baseline.
+        backend.import_database(db)
+        assert graph_io.dumps(backend.database()) == baseline
+    finally:
+        backend.close()
+
+
 def _published(tmp_path):
     db = random_database(seed=3800 + SEED, num_graphs=6, n=5)
     patterns = GSpanMiner().mine(db, 3)
@@ -375,6 +432,8 @@ SCENARIOS = {
     "serve.reload": scenario_serve_reload,
     "obs.sink_write": scenario_obs_sink_write,
     "obs.metrics_scrape": scenario_obs_metrics_scrape,
+    "storage.write": scenario_storage_write,
+    "storage.read": scenario_storage_read,
 }
 
 #: Sites whose hook passes bytes through ``mangle`` — they additionally
@@ -384,6 +443,8 @@ BYTE_SITES = {
     "artifact.read",
     "obs.sink_write",
     "perf.shm_attach",
+    "storage.write",
+    "storage.read",
 }
 
 

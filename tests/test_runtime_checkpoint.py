@@ -58,7 +58,7 @@ class TestRoundTripProperties:
         first = io.StringIO()
         dump_patterns(patterns, first, meta={"unit": 3})
         loaded, meta = load_patterns(io.StringIO(first.getvalue()))
-        assert meta == {"unit": 3}
+        assert meta == {"unit": 3, "backend": "memory"}
         assert loaded.keys() == patterns.keys()
         for pattern in loaded:
             assert pattern.tids == patterns.get(pattern.key).tids

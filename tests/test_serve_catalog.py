@@ -78,7 +78,7 @@ class TestPublishLoad:
         assert published.version == 1
         loaded = catalog.load()
         assert loaded.version == 1
-        assert loaded.meta == {"note": "v1"}
+        assert loaded.meta == {"note": "v1", "backend": "memory"}
         assert loaded.patterns.keys() == patterns.keys()
         assert loaded.index == published.index
         assert [e.key for e in loaded.entries] == [

@@ -28,7 +28,7 @@ class TestRoundTrip:
         buffer.seek(0)
         back, meta = load_patterns(buffer)
         assert back.keys() == patterns.keys()
-        assert meta == {"note": "hi"}
+        assert meta == {"note": "hi", "backend": "memory"}
         for p in back:
             original = patterns.get(p.key)
             assert p.tids == original.tids
@@ -40,7 +40,7 @@ class TestRoundTrip:
         save_patterns(patterns, path, meta={"support": 2})
         back, meta = read_patterns(path)
         assert back.keys() == patterns.keys()
-        assert meta == {"support": 2}
+        assert meta == {"support": 2, "backend": "memory"}
 
     def test_string_labels(self, tmp_path):
         from repro.graph.labeled_graph import LabeledGraph
@@ -171,4 +171,33 @@ class TestSchemaVersion:
         dump_patterns(patterns, buffer, meta={"note": "x"})
         buffer.seek(0)
         _, meta = load_patterns(buffer)
-        assert meta == {"note": "x"}
+        assert meta == {"note": "x", "backend": "memory"}
+
+    def test_backend_tag_round_trips(self):
+        patterns = mined(813)
+        buffer = io.StringIO()
+        dump_patterns(patterns, buffer, meta={"backend": "sqlite"})
+        header = json.loads(buffer.getvalue().splitlines()[0])
+        assert header["backend"] == "sqlite"
+        buffer.seek(0)
+        _, meta = load_patterns(buffer)
+        assert meta["backend"] == "sqlite"
+
+    def test_old_schema_upgraded_with_default_backend(self):
+        # Pre-schema-3 files carried no backend tag; upgrade-on-load
+        # supplies the implicit one.
+        lines = [
+            '{"kind": "header", "version": 1, "schema_version": 2, '
+            '"patterns": 0}',
+        ]
+        _, meta = load_patterns(iter(lines))
+        assert meta["backend"] == "memory"
+
+    def test_newer_schema_rejection_names_path(self):
+        lines = [
+            '{"kind": "header", "version": 1, "schema_version": 99, '
+            '"patterns": 0}',
+        ]
+        with pytest.raises(ValueError, match="schema_version 99") as exc:
+            load_patterns(iter(lines), path="/tmp/some/patterns.jsonl")
+        assert "/tmp/some/patterns.jsonl" in str(exc.value)
