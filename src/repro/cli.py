@@ -200,6 +200,22 @@ def cmd_mine(args: argparse.Namespace) -> int:
                 shared_db=not args.no_shared_db,
                 spill_dir=args.spill_dir,
             )
+        coord_config = None
+        if args.shards >= 2:
+            from .coord import CoordConfig
+            from .runtime import RuntimeConfig
+
+            coord_config = CoordConfig(
+                shards=args.shards,
+                workers=args.workers,
+                chunk_size=args.shard_chunk,
+                heartbeat_interval=args.heartbeat_interval,
+                mem_budget=args.shard_mem_budget,
+                runtime=RuntimeConfig(
+                    unit_timeout=args.unit_timeout,
+                    max_retries=args.retries,
+                ),
+            )
         trace_sink = None
         trace_id = None
         if args.trace:
@@ -223,6 +239,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
             parallel_units=args.parallel,
             runtime=runtime_config,
             run_dir=args.run_dir,
+            shards=args.shards,
+            coord=coord_config,
             profiler=profiler,
         )
         try:
@@ -258,6 +276,18 @@ def cmd_mine(args: argparse.Namespace) -> int:
                     **trace_sink.stats(),
                 }
             print(f"runtime: {result.telemetry.format_summary()}")
+            coord_doc = getattr(result.telemetry, "coord", None) or {}
+            if coord_doc:
+                counters = coord_doc["counters"]
+                plan_doc = coord_doc["plan"]
+                print(
+                    f"coord: {plan_doc['shards']} shards "
+                    f"(edge spread {plan_doc['edge_spread']}), "
+                    f"retries {counters['retries']}, "
+                    f"lease expiries {counters['lease_expiries']}, "
+                    f"reassignments {counters['reassignments']}, "
+                    f"degraded {counters['degraded']}"
+                )
             if args.telemetry:
                 result.telemetry.save(args.telemetry)
                 print(f"telemetry saved to {args.telemetry}")
@@ -640,6 +670,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shared-db", action="store_true",
                    help="ship pickled graph lists to unit workers instead "
                         "of mapping a shared-memory flat-database segment")
+    p.add_argument("--shards", type=int, default=0,
+                   help="mine through the sharded coordinator with this "
+                        "many density-balanced database shards (partminer "
+                        "only); worker processes run under lease "
+                        "supervision and the final set is byte-identical "
+                        "to the in-process run")
+    p.add_argument("--shard-mem-budget", type=int, default=None,
+                   help="per-worker decoded-graph cache budget in graphs; "
+                        "shards larger than the budget stream their rows "
+                        "from SQLite instead of materializing")
+    p.add_argument("--heartbeat-interval", type=float, default=0.25,
+                   help="seconds between shard-worker heartbeats (the "
+                        "lease TTL defaults to 8x this)")
+    p.add_argument("--shard-chunk", type=int, default=0,
+                   help="graphs per shard checkpoint chunk — the resume "
+                        "granularity after a worker kill (0 = whole "
+                        "shard)")
     p.add_argument("--run-dir", default=None,
                    help="checkpoint directory; re-running with the same "
                         "directory resumes, skipping finished units")

@@ -1,0 +1,920 @@
+"""The sharded mining coordinator (supervision, leases, recovery).
+
+Architecture (DESIGN.md §15)::
+
+    Coordinator.mine(database, support)
+      ├─ ShardPlan.build            density-ranked round-robin placement
+      ├─ spill / reference          one SQLite file all workers stream
+      ├─ worker slots (threads)     each drains the shard queue:
+      │     grant lease ─▶ spawn worker process ─▶ supervise heartbeats
+      │     ├─ heartbeat gap > TTL ─▶ expire lease, kill, requeue
+      │     ├─ worker death (EOF)  ─▶ expire lease, requeue
+      │     ├─ requeued shard      ─▶ jittered backoff ─▶ any free slot
+      │     │                         re-leases it (reassignment)
+      │     └─ budget exhausted    ─▶ in-process serial fallback
+      └─ global-support phase       merge-join candidates + exact recount
+
+Every shard's durable state lives under ``<run_dir>/shards/shard_NN/``:
+chunk checkpoints (the worker's resume points) and the exactly-once
+``result.jsonl`` commit.  Re-running with the same ``run_dir`` adopts
+committed shards wholesale and resumes partial ones from their last
+chunk.  The coordinator manifest pins the placement — a directory
+created under a different plan refuses to resume.
+
+Fault sites (chaos matrix): ``coord.lease`` (grant/renew bookkeeping),
+``coord.heartbeat`` (processing one worker heartbeat — an injected
+failure is a *lost* beat), ``coord.shard_result`` (reading a committed
+shard artifact; a byte site — corrupted results are quarantined and the
+shard re-mined).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .. import obs
+from ..graph.database import GraphDatabase
+from ..mining.base import PatternSet
+from ..mining.store import load_patterns
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..resilience import faults, integrity
+from ..resilience.errors import ArtifactCorrupt
+from ..runtime.checkpoint import CheckpointMismatch, CheckpointStore
+from ..runtime.config import RuntimeConfig
+from ..runtime.engine import UnitMiningError
+from ..runtime.telemetry import AttemptRecord, RunTelemetry, UnitRecord
+from .lease import (
+    COMMITTED,
+    DEGRADED,
+    FAILED,
+    LEASE_LOSS_OUTCOMES,
+    LeaseTable,
+    ShardAttempt,
+    ShardRecord,
+    coord_digest,
+)
+from .merge import global_support, merge_candidates
+from .plan import ShardPlan
+from .worker import mine_shard, shard_worker_main
+
+SITE_LEASE = faults.register_site(
+    "coord.lease", "granting or renewing a shard lease"
+)
+SITE_HEARTBEAT = faults.register_site(
+    "coord.heartbeat", "processing one shard-worker heartbeat"
+)
+SITE_SHARD_RESULT = faults.register_site(
+    "coord.shard_result", "reading a committed shard-result artifact"
+)
+
+MANIFEST_NAME = "coord.json"
+SPILL_NAME = "spill.db"
+RESULT_NAME = "result.jsonl"
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CoordConfig:
+    """Execution policy of the sharded coordinator.
+
+    Parameters
+    ----------
+    shards:
+        Number of database shards (= maximum concurrent shard miners).
+    workers:
+        Worker slots draining the shard queue (``None`` = ``min(shards,
+        CPU count)``).  Each slot supervises one worker process at a
+        time; a shard whose lease expires is requeued and picked up by
+        whichever slot frees first — that re-grant is the reassignment.
+    chunk_size:
+        Graphs per checkpoint chunk inside a shard (``0`` = whole-shard
+        chunks).  Smaller chunks = finer resume granularity after a
+        worker kill, at more checkpoint-write cost.
+    heartbeat_interval:
+        Seconds between worker heartbeats.
+    lease_ttl:
+        Heartbeat silence that expires a lease (``None`` = ``8x`` the
+        interval — tolerant of a dropped beat, fast on a dead worker).
+    mem_budget:
+        Per-worker decoded-graph cache budget, in graphs.  Shards
+        larger than the budget stream their SQLite rows instead of
+        materializing (the out-of-core contract of :mod:`repro.storage`).
+    runtime:
+        The :class:`~repro.runtime.config.RuntimeConfig` retry policy
+        reused per shard: ``max_retries`` bounds worker attempts,
+        ``backoff_*`` (with seeded jitter) paces requeues,
+        ``unit_timeout`` caps one attempt's wall clock, ``fallback``
+        picks serial degradation vs. failing the run, ``kill_grace`` /
+        ``start_method`` govern the worker processes.
+    """
+
+    shards: int = 4
+    workers: int | None = None
+    chunk_size: int = 0
+    heartbeat_interval: float = 0.25
+    lease_ttl: float | None = None
+    mem_budget: int | None = None
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive: "
+                f"{self.heartbeat_interval}"
+            )
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive: {self.lease_ttl}")
+
+    @property
+    def resolved_ttl(self) -> float:
+        return (
+            self.lease_ttl
+            if self.lease_ttl is not None
+            else 8.0 * self.heartbeat_interval
+        )
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, min(self.workers, self.shards))
+        return max(1, min(self.shards, os.cpu_count() or 1))
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "heartbeat_interval": self.heartbeat_interval,
+            "lease_ttl": self.resolved_ttl,
+            "mem_budget": self.mem_budget,
+            "runtime": self.runtime.to_dict(),
+        }
+
+
+@dataclass
+class CoordResult:
+    """Output of one coordinator run."""
+
+    patterns: PatternSet
+    threshold: int
+    plan: ShardPlan
+    telemetry: RunTelemetry
+    shard_results: list[PatternSet]
+
+
+@dataclass
+class _ShardState:
+    """Queue entry: one shard's supervision state."""
+
+    shard: int
+    record: ShardRecord
+    failures: int = 0
+    not_before: float = 0.0
+    lost_lease: bool = False  # last attempt forfeited a live lease
+    settled: bool = False
+    patterns: PatternSet | None = None
+
+
+class Coordinator:
+    """Supervised sharded mining over one run directory.
+
+    Parameters
+    ----------
+    config:
+        :class:`CoordConfig` policy.
+    run_dir:
+        Durable state root (manifest, spill file, per-shard checkpoint
+        dirs and result commits).  Reusing it resumes.
+    worker:
+        The picklable worker entry (tests substitute shims); must speak
+        the :mod:`repro.coord.worker` wire protocol.
+    on_event:
+        Optional hook ``on_event(kind, **ctx)`` fired on supervision
+        events (``lease``, ``heartbeat``, ``unit``, ``expired``,
+        ``reassigned``, ``committed``, ``fallback``) — the chaos tests
+        use it to SIGKILL workers at precise moments.
+    sleep:
+        Injectable clock for backoff waits.
+    """
+
+    def __init__(
+        self,
+        config: CoordConfig | None = None,
+        run_dir: str | Path | None = None,
+        *,
+        worker: Callable = shard_worker_main,
+        on_event: Callable | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if run_dir is None:
+            raise ValueError("Coordinator requires a run_dir")
+        self.config = config or CoordConfig()
+        self.run_dir = Path(run_dir)
+        self.worker = worker
+        self.on_event = on_event or (lambda kind, **ctx: None)
+        self.sleep = sleep
+        self.leases = LeaseTable()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def shard_dir(self, shard: int) -> Path:
+        return self.run_dir / "shards" / f"shard_{shard:02d}"
+
+    def result_path(self, shard: int) -> Path:
+        return self.shard_dir(shard) / RESULT_NAME
+
+    # ------------------------------------------------------------------
+    def mine(
+        self,
+        database: GraphDatabase,
+        min_support: float | int,
+        *,
+        max_size: int | None = None,
+    ) -> CoordResult:
+        """Mine the exact frequent pattern set of ``database``, sharded."""
+        config = self.config
+        threshold = database.absolute_support(min_support)
+        start = time.perf_counter()
+        parent_span = obs_trace.current_span_id()
+
+        with obs.span(
+            "coord.mine",
+            shards=config.shards,
+            threshold=threshold,
+            graphs=len(database),
+        ) as run_span:
+            with obs.span("coord.plan"):
+                plan = ShardPlan.build(database, config.shards)
+            for shard, (graphs, edges) in enumerate(plan.sizes):
+                obs_metrics.set_coord_shard_size(shard, graphs, edges)
+
+            chunk_thresholds = [
+                plan.chunk_threshold(threshold, shard, config.chunk_size)
+                for shard in range(config.shards)
+            ]
+            if (
+                threshold > 1
+                and max_size is None
+                and min(chunk_thresholds) <= 1
+            ):
+                # The pigeonhole relaxation bottomed out: some chunk
+                # mines at support 1, whose enumeration is unbounded
+                # in pattern size.  Legal, but usually a shard/support
+                # misconfiguration rather than an intent.
+                warnings.warn(
+                    "sharded mining with chunk-local support 1 "
+                    f"(global threshold {threshold}, {config.shards} "
+                    "shards): enumeration may blow up — use fewer "
+                    "shards, a higher support, or cap --max-size",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self._open_manifest(plan, threshold, chunk_thresholds, max_size)
+            payload_base = self._payload_source(database)
+
+            states: list[_ShardState] = []
+            for shard in range(config.shards):
+                graphs, edges = plan.sizes[shard]
+                record = ShardRecord(
+                    shard=shard, graphs=graphs, edges=edges
+                )
+                states.append(_ShardState(shard=shard, record=record))
+                store = CheckpointStore(self.shard_dir(shard))
+                store.open(
+                    self._shard_manifest(
+                        plan, shard, chunk_thresholds, max_size
+                    )
+                )
+
+            self._supervise(
+                states, plan, chunk_thresholds, payload_base, max_size,
+                parent_span,
+            )
+
+            failed = [
+                s.shard for s in states if s.record.status == FAILED
+            ]
+            records = [s.record for s in states]
+            if failed:
+                telemetry = self._telemetry(
+                    records, plan, {}, time.perf_counter() - start
+                )
+                raise UnitMiningError(failed, telemetry)
+
+            shard_results = [s.patterns for s in states]
+            merge_t0 = time.perf_counter()
+            with obs.span(
+                "coord.global_support", candidates=None
+            ) as merge_span:
+                merged = merge_candidates(shard_results)
+                patterns, phase = global_support(
+                    merged, database, threshold
+                )
+                phase["wall_time"] = time.perf_counter() - merge_t0
+                merge_span.set_attrs(
+                    candidates=phase["candidates"],
+                    frequent=phase["frequent"],
+                )
+            obs_metrics.observe_phase(
+                "global_support", phase["wall_time"]
+            )
+            run_span.set_attrs(patterns=len(patterns))
+
+        telemetry = self._telemetry(
+            records, plan, phase, time.perf_counter() - start
+        )
+        telemetry.save(self.run_dir / "telemetry.json")
+        return CoordResult(
+            patterns=patterns,
+            threshold=threshold,
+            plan=plan,
+            telemetry=telemetry,
+            shard_results=shard_results,
+        )
+
+    # ------------------------------------------------------------------
+    # Run identity
+    # ------------------------------------------------------------------
+    def _open_manifest(
+        self,
+        plan: ShardPlan,
+        threshold: int,
+        chunk_thresholds: list[int],
+        max_size: int | None,
+    ) -> None:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        path = self.run_dir / MANIFEST_NAME
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "threshold": threshold,
+            "chunk_size": self.config.chunk_size,
+            "chunk_thresholds": chunk_thresholds,
+            "max_size": max_size,
+            "plan": plan.to_dict(),
+        }
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            for key in (
+                "threshold",
+                "chunk_size",
+                "chunk_thresholds",
+                "max_size",
+                "plan",
+            ):
+                if existing.get(key) != manifest[key]:
+                    raise CheckpointMismatch(
+                        f"{self.run_dir} holds a different sharded run "
+                        f"({key} differs); shard checkpoints are only "
+                        f"valid under the plan that wrote them"
+                    )
+            return
+        integrity.atomic_write_json(path, manifest)
+
+    def _shard_manifest(
+        self,
+        plan: ShardPlan,
+        shard: int,
+        chunk_thresholds: list[int],
+        max_size: int | None,
+    ) -> dict:
+        chunks = plan.chunks(shard, self.config.chunk_size)
+        return {
+            "units": len(chunks),
+            "thresholds": [chunk_thresholds[shard]] * len(chunks),
+            "max_size": max_size,
+            "shard": shard,
+            "gids": [list(chunk) for chunk in chunks],
+        }
+
+    # ------------------------------------------------------------------
+    # Payload source: one SQLite file every worker streams
+    # ------------------------------------------------------------------
+    def _payload_source(self, database: GraphDatabase) -> dict:
+        """``{"sqlite": spec}`` (preferred) or ``{"graphs": [...]}``.
+
+        A database already living in a SQLite backend is referenced in
+        place; an in-memory database is spilled into
+        ``<run_dir>/spill.db`` once (checksum-upserted, so resumes
+        rewrite nothing) — either way the workers open their own
+        read-only connections under the per-worker cache budget and the
+        shard never materializes in any single process.
+        """
+        store = getattr(database, "_graphs", None)
+        spec_fn = getattr(store, "payload_spec", None)
+        if spec_fn is not None:
+            spec = dict(spec_fn())
+            spec.pop("gids", None)  # per-chunk gids come from the plan
+            if self.config.mem_budget is not None:
+                spec["cache"] = self.config.mem_budget
+            return {"sqlite": spec}
+        try:
+            with obs.span("coord.spill", graphs=len(database)):
+                from ..storage.sqlite import SQLiteBackend
+
+                path = self.run_dir / SPILL_NAME
+                backend = SQLiteBackend(path)
+                try:
+                    backend.import_database(database)
+                    backend.checkpoint()
+                finally:
+                    backend.close()
+        except Exception:
+            # No SQLite (or read-only filesystem): workers receive the
+            # pickled shard instead — correctness is unchanged, only the
+            # out-of-core property is lost.
+            return {"graphs": list(database)}
+        return {
+            "sqlite": {
+                "path": str(path.resolve()),
+                "cache": self.config.mem_budget,
+            }
+        }
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        states: list[_ShardState],
+        plan: ShardPlan,
+        chunk_thresholds: list[int],
+        payload_base: dict,
+        max_size: int | None,
+        parent_span: str | None,
+    ) -> None:
+        import threading
+
+        queue: deque[_ShardState] = deque(states)
+        cond = threading.Condition()
+        remaining = len(states)
+
+        def settle(state: _ShardState) -> None:
+            nonlocal remaining
+            with cond:
+                if state.settled:
+                    return
+                state.settled = True
+                remaining -= 1
+                cond.notify_all()
+
+        def requeue(state: _ShardState) -> None:
+            with cond:
+                queue.append(state)
+                cond.notify_all()
+
+        def next_state() -> _ShardState | None:
+            """Earliest ready shard, or block until one is (None = done)."""
+            with cond:
+                while True:
+                    if remaining == 0:
+                        return None
+                    now = time.monotonic()
+                    ready = [s for s in queue if s.not_before <= now]
+                    if ready:
+                        state = ready[0]
+                        queue.remove(state)
+                        return state
+                    if queue:
+                        soonest = min(s.not_before for s in queue)
+                        cond.wait(timeout=max(0.001, soonest - now))
+                    else:
+                        cond.wait(timeout=0.05)
+
+        def slot_main(slot: str) -> None:
+            while True:
+                state = next_state()
+                if state is None:
+                    return
+                try:
+                    self._run_shard(
+                        state, slot, plan, chunk_thresholds, payload_base,
+                        max_size, parent_span, settle, requeue,
+                    )
+                except Exception:  # noqa: BLE001 - a dead slot must not
+                    # wedge the queue: the shard fails, the run finishes.
+                    state.record.status = FAILED
+                    obs_metrics.count_coord_shard_status(FAILED)
+                    settle(state)
+
+        slots = [
+            threading.Thread(
+                target=slot_main, args=(f"w{i}",), daemon=True
+            )
+            for i in range(self.config.resolved_workers())
+        ]
+        for thread in slots:
+            thread.start()
+        for thread in slots:
+            thread.join()
+
+    def _run_shard(
+        self,
+        state: _ShardState,
+        slot: str,
+        plan: ShardPlan,
+        chunk_thresholds: list[int],
+        payload_base: dict,
+        max_size: int | None,
+        parent_span: str | None,
+        settle,
+        requeue,
+    ) -> None:
+        """One attempt at one shard, then route the outcome."""
+        config = self.config
+        record = state.record
+        shard = state.shard
+        shard_t0 = time.perf_counter()
+
+        with obs.span(
+            "coord.shard",
+            parent=parent_span,
+            shard=shard,
+            attempt=len(record.attempts),
+            slot=slot,
+        ) as span:
+            try:
+                attempt = self._attempt(
+                    state, slot, plan, chunk_thresholds, payload_base,
+                    max_size,
+                )
+            except Exception as exc:  # noqa: BLE001 - retried, never hangs
+                attempt = ShardAttempt(
+                    attempt=len(record.attempts),
+                    outcome="error",
+                    worker=slot,
+                    wall_time=time.perf_counter() - shard_t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            record.attempts.append(attempt)
+            record.wall_time += time.perf_counter() - shard_t0
+            span.set_attrs(outcome=attempt.outcome)
+            obs_metrics.count_coord_attempt(attempt.outcome)
+
+            if attempt.outcome in ("ok", "resumed-commit"):
+                record.status = COMMITTED
+                record.patterns = (
+                    None if state.patterns is None else len(state.patterns)
+                )
+                obs_metrics.count_coord_shard_status(COMMITTED)
+                self.on_event("committed", shard=shard, worker=slot)
+                settle(state)
+                return
+            if attempt.outcome != "ok":
+                span.set_status("error", attempt.error or attempt.outcome)
+
+            if attempt.outcome in LEASE_LOSS_OUTCOMES:
+                record.lease_expiries += 1
+                obs_metrics.count_coord_lease("expired")
+                self.on_event(
+                    "expired", shard=shard, worker=slot, pid=attempt.pid
+                )
+            state.lost_lease = attempt.outcome in LEASE_LOSS_OUTCOMES
+            state.failures += 1
+
+            if state.failures <= config.runtime.max_retries:
+                delay = config.runtime.backoff_delay(
+                    state.failures - 1, unit=shard
+                )
+                attempt.backoff = delay
+                state.not_before = time.monotonic() + delay
+                requeue(state)
+                return
+
+            # Budget exhausted: degrade in-process, or fail the run.
+            if config.runtime.fallback == "serial":
+                self._fallback(
+                    state, slot, plan, chunk_thresholds, payload_base,
+                    max_size,
+                )
+            else:
+                record.status = FAILED
+                obs_metrics.count_coord_shard_status(FAILED)
+            settle(state)
+
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        state: _ShardState,
+        slot: str,
+        plan: ShardPlan,
+        chunk_thresholds: list[int],
+        payload_base: dict,
+        max_size: int | None,
+    ) -> ShardAttempt:
+        import multiprocessing
+
+        config = self.config
+        shard = state.shard
+        attempt_no = len(state.record.attempts)
+        t0 = time.perf_counter()
+
+        def finish(outcome, *, pid=None, error=None, heartbeats=0,
+                   resumed=0, mined=0) -> ShardAttempt:
+            return ShardAttempt(
+                attempt=attempt_no,
+                outcome=outcome,
+                worker=slot,
+                wall_time=time.perf_counter() - t0,
+                pid=pid,
+                error=error,
+                heartbeats=heartbeats,
+                resumed_units=resumed,
+                mined_units=mined,
+            )
+
+        # Exactly-once: a result committed by a previous attempt (or a
+        # previous *run*) is adopted, never re-mined.
+        if self.result_path(shard).exists():
+            try:
+                state.patterns = self._read_result(shard)
+            except ArtifactCorrupt as exc:
+                return finish("result-corrupt", error=str(exc))
+            return finish("resumed-commit", pid=os.getpid())
+
+        try:
+            faults.fire(
+                SITE_LEASE, shard=shard, worker=slot, attempt=attempt_no
+            )
+        except Exception as exc:  # noqa: BLE001 - a retryable attempt
+            return finish(
+                "lease-error", error=f"{type(exc).__name__}: {exc}"
+            )
+
+        payload = dict(
+            payload_base,
+            shard=shard,
+            chunks=[
+                list(chunk)
+                for chunk in plan.chunks(shard, config.chunk_size)
+            ],
+            threshold=chunk_thresholds[shard],
+            max_size=max_size,
+            heartbeat_interval=config.heartbeat_interval,
+            run_dir=str(self.shard_dir(shard)),
+            result_path=str(self.result_path(shard)),
+            result_meta={
+                "shard": shard, "threshold": chunk_thresholds[shard]
+            },
+        )
+        ctx = multiprocessing.get_context(config.runtime.start_method)
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=self.worker, args=(payload, send), daemon=True
+        )
+        proc.start()
+        send.close()
+
+        reassigned = state.lost_lease
+        lease = self.leases.grant(
+            shard, slot, proc.pid, config.resolved_ttl,
+            reassigned=reassigned,
+        )
+        obs_metrics.count_coord_lease("granted")
+        if reassigned:
+            state.record.reassignments += 1
+            obs_metrics.count_coord_lease("reassigned")
+            self.on_event(
+                "reassigned", shard=shard, worker=slot, pid=proc.pid
+            )
+        self.on_event("lease", shard=shard, worker=slot, pid=proc.pid)
+
+        deadline = (
+            None
+            if config.runtime.unit_timeout is None
+            else time.monotonic() + config.runtime.unit_timeout
+        )
+        outcome = error = None
+        done_info: dict = {}
+        poll_step = min(config.heartbeat_interval, config.resolved_ttl / 4)
+        try:
+            while outcome is None:
+                got = recv.poll(poll_step)
+                now = time.monotonic()
+                if got:
+                    try:
+                        message = recv.recv()
+                    except EOFError:
+                        outcome = "crash"
+                        error = "worker died without a report"
+                        break
+                    kind = message[0]
+                    if kind in ("hb", "unit"):
+                        try:
+                            faults.fire(
+                                SITE_HEARTBEAT, shard=shard,
+                                worker=slot, seq=message[1],
+                            )
+                        except Exception:  # noqa: BLE001 - beat lost
+                            pass  # a dropped heartbeat does not renew
+                        else:
+                            lease.renew()
+                            obs_metrics.count_coord_lease("renewed")
+                            self.on_event(
+                                "heartbeat", shard=shard, worker=slot,
+                                pid=proc.pid, seq=message[1],
+                            )
+                            if kind == "unit":
+                                self.on_event(
+                                    "unit", shard=shard, worker=slot,
+                                    pid=proc.pid, chunk=message[1],
+                                    patterns=message[2],
+                                )
+                    elif kind == "done":
+                        done_info = message[1]
+                        outcome = "done"
+                    else:  # ("error", msg)
+                        outcome = "error"
+                        error = message[1]
+                if outcome is None:
+                    if lease.expired(now):
+                        outcome = "lease-expired"
+                        error = (
+                            f"no heartbeat within "
+                            f"{config.resolved_ttl:.2f}s"
+                        )
+                    elif deadline is not None and now > deadline:
+                        outcome = "timeout"
+                        error = (
+                            f"no result within "
+                            f"{config.runtime.unit_timeout}s"
+                        )
+        finally:
+            pid = proc.pid
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(config.runtime.kill_grace)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(config.runtime.kill_grace)
+            else:
+                proc.join()
+            recv.close()
+            if outcome in LEASE_LOSS_OUTCOMES:
+                self.leases.expire(shard)
+            else:
+                self.leases.release(shard)
+
+        if outcome == "crash" and proc.exitcode not in (None, 0):
+            error = f"worker exit code {proc.exitcode}"
+        if outcome == "done":
+            try:
+                state.patterns = self._read_result(shard)
+            except ArtifactCorrupt as exc:
+                return finish(
+                    "result-corrupt",
+                    pid=pid,
+                    error=str(exc),
+                    heartbeats=lease.heartbeats,
+                )
+            return finish(
+                "ok",
+                pid=pid,
+                heartbeats=lease.heartbeats,
+                resumed=done_info.get("resumed", 0),
+                mined=done_info.get("mined", 0),
+            )
+        return finish(
+            outcome, pid=pid, error=error, heartbeats=lease.heartbeats
+        )
+
+    # ------------------------------------------------------------------
+    def _fallback(
+        self,
+        state: _ShardState,
+        slot: str,
+        plan: ShardPlan,
+        chunk_thresholds: list[int],
+        payload_base: dict,
+        max_size: int | None,
+    ) -> None:
+        """Mine the shard in-process after the worker budget is spent."""
+        record = state.record
+        shard = state.shard
+        t0 = time.perf_counter()
+        self.on_event("fallback", shard=shard, worker=slot)
+        payload = dict(
+            payload_base,
+            shard=shard,
+            chunks=[
+                list(chunk)
+                for chunk in plan.chunks(shard, self.config.chunk_size)
+            ],
+            threshold=chunk_thresholds[shard],
+            max_size=max_size,
+            run_dir=str(self.shard_dir(shard)),
+            result_path=str(self.result_path(shard)),
+            result_meta={
+                "shard": shard, "threshold": chunk_thresholds[shard]
+            },
+        )
+        try:
+            with obs.span("coord.fallback", shard=shard):
+                info = mine_shard(payload, send=lambda message: None)
+                state.patterns = self._read_result(shard)
+        except Exception as exc:  # noqa: BLE001 - recorded, failed
+            record.attempts.append(
+                ShardAttempt(
+                    attempt=len(record.attempts),
+                    outcome="fallback-error",
+                    worker=slot,
+                    wall_time=time.perf_counter() - t0,
+                    pid=os.getpid(),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            record.status = FAILED
+            obs_metrics.count_coord_shard_status(FAILED)
+            return
+        record.attempts.append(
+            ShardAttempt(
+                attempt=len(record.attempts),
+                outcome="fallback-serial",
+                worker=slot,
+                wall_time=time.perf_counter() - t0,
+                pid=os.getpid(),
+                resumed_units=info.get("resumed", 0),
+                mined_units=info.get("mined", 0),
+            )
+        )
+        record.status = DEGRADED
+        record.patterns = len(state.patterns)
+        obs_metrics.count_coord_shard_status(DEGRADED)
+
+    # ------------------------------------------------------------------
+    def _read_result(self, shard: int) -> PatternSet:
+        """Verified read of a shard's committed result artifact.
+
+        The raw bytes pass through the ``coord.shard_result`` fault
+        site, then the sha256 footer is *required* — truncation, bit
+        rot and injected corruption all surface as
+        :class:`ArtifactCorrupt`, the file is quarantined, and the
+        caller re-mines the shard (its chunk checkpoints make that
+        cheap).
+        """
+        path = self.result_path(shard)
+        faults.fire(SITE_SHARD_RESULT, shard=shard)
+        raw = path.read_bytes()
+        raw = faults.mangle(SITE_SHARD_RESULT, raw, shard=shard)
+        try:
+            text = raw.decode("utf-8")
+            payload = integrity.unframe(text, path=path, require=True)
+            patterns, _meta = load_patterns(
+                iter(payload.splitlines()), path=path
+            )
+        except ArtifactCorrupt as exc:
+            exc.quarantined = integrity.quarantine(path)
+            raise
+        except (UnicodeDecodeError, ValueError) as exc:
+            corrupt = ArtifactCorrupt(
+                f"shard {shard} result {path} is corrupt: {exc}"
+            )
+            corrupt.quarantined = integrity.quarantine(path)
+            raise corrupt from exc
+        return patterns
+
+    # ------------------------------------------------------------------
+    def _telemetry(
+        self,
+        records: list[ShardRecord],
+        plan: ShardPlan,
+        phase: dict,
+        total_wall_time: float,
+    ) -> RunTelemetry:
+        status_map = {COMMITTED: "ok", DEGRADED: "degraded"}
+        units = [
+            UnitRecord(
+                unit=record.shard,
+                status=status_map.get(record.status, record.status),
+                attempts=[
+                    AttemptRecord(
+                        attempt=a.attempt,
+                        outcome=a.outcome,
+                        wall_time=a.wall_time,
+                        pid=a.pid,
+                        error=a.error,
+                        backoff=a.backoff,
+                    )
+                    for a in record.attempts
+                ],
+                wall_time=record.wall_time,
+                patterns=record.patterns,
+            )
+            for record in records
+        ]
+        return RunTelemetry(
+            units=units,
+            config={"coord": self.config.to_dict()},
+            total_wall_time=total_wall_time,
+            coord=coord_digest(records, plan.summary(), phase),
+        )

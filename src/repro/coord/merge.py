@@ -1,0 +1,84 @@
+"""Global-support phase: merge shard candidates, recount exactly.
+
+The per-shard miners work at the doubly pigeonhole-reduced threshold
+(see :mod:`repro.coord.plan`), so the union of their locally-frequent
+sets is a complete candidate *superset* of the globally frequent
+patterns — but the local supports and TID lists are partial (a shard
+only sees its own gids).  This phase restores exactness:
+
+1. **merge-join** the shard results by canonical key, unioning the TID
+   lists each shard proved (a free lower bound on global support);
+2. **recount** every merged candidate against the *full* database
+   through the batched flat kernels with the real threshold as the
+   early-exit bound — infrequent border candidates abort their scan as
+   soon as they provably miss, frequent ones come back with complete
+   supports and TID lists;
+3. keep the candidates meeting the root threshold.
+
+The result is exactly the frequent pattern set of the whole database —
+the same set, supports and TIDs a single-process run produces, which is
+what makes the sharded run's output byte-identical.
+"""
+
+from __future__ import annotations
+
+from ..graph.database import GraphDatabase
+from ..mining.base import Pattern, PatternSet
+
+
+def merge_candidates(shard_results: list[PatternSet]) -> PatternSet:
+    """Key-union of the per-shard locally-frequent sets."""
+    merged = PatternSet()
+    for result in shard_results:
+        for pattern in result:
+            merged.add_union(pattern)
+    return merged
+
+
+def global_support(
+    candidates: PatternSet,
+    database: GraphDatabase,
+    threshold: int,
+) -> tuple[PatternSet, dict]:
+    """Exact recount of ``candidates`` against the full database.
+
+    Returns ``(frequent patterns, phase digest)``.  Counting runs
+    through :func:`~repro.graph.isomorphism.count_support` with
+    ``minsup=threshold`` — on the batched flat-kernel path a hopeless
+    candidate aborts its scan early, while every *kept* pattern carries
+    its complete TID list (the kernel contract for frequent results).
+    """
+    from .. import perf
+    from ..graph.isomorphism import count_support
+
+    flat = perf.get_flat_db(database) if perf.flat_enabled() else None
+    arena = perf.ScanArena() if flat is not None else None
+    frequent = PatternSet()
+    rejected = 0
+    for pattern in candidates:
+        support, tids = count_support(
+            pattern.graph,
+            database,
+            key=pattern.key,
+            minsup=threshold,
+            flat=flat,
+            arena=arena,
+        )
+        if support >= threshold:
+            frequent.add(
+                Pattern(
+                    graph=pattern.graph,
+                    key=pattern.key,
+                    support=support,
+                    tids=frozenset(tids),
+                )
+            )
+        else:
+            rejected += 1
+    digest = {
+        "candidates": len(candidates),
+        "frequent": len(frequent),
+        "rejected": rejected,
+        "flat_kernels": flat is not None,
+    }
+    return frequent, digest

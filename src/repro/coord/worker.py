@@ -1,0 +1,147 @@
+"""Shard-worker process: mine one shard's gid-chunks under a lease.
+
+One process per *attempt* (the coordinator never reuses a worker whose
+lease expired).  The worker:
+
+* heartbeats over the supervision pipe from a daemon thread — an
+  immediate beat on startup (so the lease is live before any mining)
+  then one every ``heartbeat_interval`` seconds;
+* mines the shard's gid-chunks **serially in-process** (worker
+  processes are daemonic, so they cannot spawn a nested runtime; the
+  parallelism lives across shards, not inside one);
+* checkpoints every completed chunk through the shared
+  :class:`~repro.runtime.checkpoint.CheckpointStore` — a killed worker's
+  successor resumes from the last committed chunk, not from scratch;
+* commits the shard result exactly once: the candidate union is written
+  with an atomic rename + sha256 footer, so the artifact either exists
+  whole or not at all, and a duplicate attempt that finds it already
+  committed adopts it instead of re-mining.
+
+Wire protocol (worker -> coordinator), all sends serialized by a lock
+because the heartbeat thread and the mining thread share the pipe::
+
+    ("hb", seq)                      periodic heartbeat
+    ("unit", chunk_index, patterns)  one chunk checkpointed (renews too)
+    ("done", {"patterns", "resumed", "mined"})   result committed
+    ("error", "Type: message")       the worker raised
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..graph.database import GraphDatabase
+from ..mining.base import PatternSet
+from ..resilience.errors import ArtifactCorrupt
+from ..runtime.checkpoint import CheckpointStore
+
+
+def chunk_database(payload: dict, gids: tuple[int, ...]) -> GraphDatabase:
+    """The database view one chunk mines, per the payload's wire form.
+
+    ``sqlite`` payloads open the worker's **own read-only connection**
+    (the parent's does not survive a fork) with the per-worker decoded
+    -graph cache budget — a shard larger than the budget streams rows
+    instead of materializing; ``graphs`` payloads carry the pickled
+    shard and slice it in memory.
+    """
+    spec = payload.get("sqlite")
+    if spec is not None:
+        from ..storage.backend import open_backend
+
+        backend = open_backend(
+            "sqlite",
+            spec["path"],
+            cache_graphs=spec.get("cache"),
+            read_only=True,
+        )
+        return backend.database(gids=list(gids))
+    wanted = set(gids)
+    return GraphDatabase(
+        (gid, graph) for gid, graph in payload["graphs"] if gid in wanted
+    )
+
+
+def mine_shard(payload: dict, send) -> dict:
+    """Mine every chunk (resuming from checkpoints), commit the result."""
+    from ..mining.gaston import GastonMiner
+    from ..mining.store import save_patterns
+
+    chunks = [tuple(chunk) for chunk in payload["chunks"]]
+    threshold = payload["threshold"]
+    store = CheckpointStore(payload["run_dir"])
+    store.open(
+        {
+            "units": len(chunks),
+            "thresholds": [threshold] * len(chunks),
+            "max_size": payload.get("max_size"),
+        }
+    )
+
+    candidates = PatternSet()
+    resumed = mined = 0
+    for index, gids in enumerate(chunks):
+        patterns = None
+        if store.has(index):
+            try:
+                patterns = store.load(index)
+                resumed += 1
+            except ArtifactCorrupt:
+                patterns = None  # quarantined; re-mine below
+        if patterns is None:
+            miner = GastonMiner(max_size=payload.get("max_size"))
+            patterns = miner.mine(chunk_database(payload, gids), threshold)
+            store.save(
+                index,
+                patterns,
+                meta={"threshold": threshold, "gids": list(gids)},
+            )
+            mined += 1
+        for pattern in patterns:
+            candidates.add_union(pattern)
+        send(("unit", index, len(patterns)))
+
+    # Exactly-once commit: atomic rename + integrity footer.  A crash
+    # before the rename leaves nothing; after it, the whole artifact.
+    save_patterns(
+        candidates,
+        payload["result_path"],
+        meta=dict(payload.get("result_meta") or {}, chunks=len(chunks)),
+        atomic=True,
+    )
+    return {"patterns": len(candidates), "resumed": resumed, "mined": mined}
+
+
+def shard_worker_main(payload: dict, conn) -> None:
+    """Process entry: heartbeat + mine + report (never raises)."""
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message) -> None:
+        with lock:
+            conn.send(message)
+
+    def beat() -> None:
+        seq = 0
+        try:
+            send(("hb", seq))
+            while not stop.wait(payload["heartbeat_interval"]):
+                seq += 1
+                send(("hb", seq))
+        except OSError:
+            return  # supervisor went away; mining continues or dies
+
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    try:
+        info = mine_shard(payload, send)
+        stop.set()
+        send(("done", info))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        stop.set()
+        try:
+            send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()

@@ -150,6 +150,17 @@ class PartMiner:
         are persisted here as they finish; re-running with the same
         directory resumes, skipping finished units.  Telemetry is saved
         alongside as ``telemetry.json``.
+    shards:
+        ``>= 2`` routes the whole run through the sharded mining
+        coordinator (:mod:`repro.coord`): density-balanced shards mined
+        by lease-supervised worker processes, with chunk checkpoints,
+        worker-kill recovery and an exact global-support phase.  The
+        output is identical to the in-process run.  ``run_dir`` becomes
+        the coordinator's durable state root (a temporary directory is
+        used when omitted — durability then lasts only for the call).
+    coord:
+        Optional :class:`~repro.coord.CoordConfig` overriding the
+        coordinator policy (takes precedence over ``shards``).
     support_cache:
         A :class:`~repro.perf.SupportCache` shared by every merge-join of
         the run.  When ``None`` (the default) a private cache is created
@@ -171,6 +182,8 @@ class PartMiner:
     parallel_units: bool = False
     runtime: object | None = None  # RuntimeConfig
     run_dir: str | Path | None = None
+    shards: int = 0
+    coord: object | None = None  # CoordConfig
     support_cache: object | None = None  # SupportCache
     profiler: object | None = None  # PhaseProfiler
 
@@ -200,9 +213,14 @@ class PartMiner:
             threshold=threshold,
             graphs=len(database),
         ) as run_span:
-            result = self._mine_inner(
-                database, threshold, ufreq, support_cache, profiler
-            )
+            if self.coord is not None or self.shards >= 2:
+                run_span.set_attrs(sharded=True)
+                result = self._mine_sharded(database, threshold, profiler)
+                result.support_cache = support_cache
+            else:
+                result = self._mine_inner(
+                    database, threshold, ufreq, support_cache, profiler
+                )
             run_span.set_attrs(patterns=len(result.patterns))
         if result.telemetry is not None:
             result.telemetry.perf = {
@@ -222,6 +240,56 @@ class PartMiner:
                 },
             }
         return result
+
+    def _mine_sharded(
+        self, database: GraphDatabase, threshold: int, profiler
+    ) -> PartMinerResult:
+        """Delegate the run to the sharded coordinator (``shards >= 2``).
+
+        The result is wrapped over the trivial one-unit partition tree:
+        per-shard pattern sets stand in as unit results and the
+        coordinator's :class:`~repro.runtime.telemetry.RunTelemetry`
+        (with its ``coord`` digest) rides in ``telemetry``.
+        """
+        import tempfile
+
+        from ..coord import CoordConfig, Coordinator
+
+        config = self.coord
+        if config is None:
+            runtime = self.runtime
+            config = CoordConfig(
+                shards=self.shards,
+                **({} if runtime is None else {"runtime": runtime}),
+            )
+        tmp = None
+        run_dir = self.run_dir
+        if run_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-coord-")
+            run_dir = tmp.name
+        try:
+            with profiler.phase("sharded_mining"):
+                coordinator = Coordinator(config, run_dir=run_dir)
+                coord_result = coordinator.mine(
+                    database, threshold, max_size=self.max_size
+                )
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        tree = db_partition(database, 1)
+        records = coord_result.telemetry.coord["shards"]
+        return PartMinerResult(
+            patterns=coord_result.patterns,
+            tree=tree,
+            threshold=coord_result.threshold,
+            unit_results=list(coord_result.shard_results),
+            node_results={(0, 0): coord_result.patterns},
+            unit_times=[record["wall_time"] for record in records],
+            merge_times={},
+            merge_stats={},
+            partition_time=0.0,
+            telemetry=coord_result.telemetry,
+        )
 
     def _mine_inner(
         self,
@@ -281,6 +349,7 @@ class PartMiner:
                         {
                             "units": len(units),
                             "thresholds": thresholds,
+                            "max_size": self.max_size,
                             "k": self.k,
                             "root_threshold": threshold,
                         }

@@ -49,10 +49,20 @@ _REQUIRED_FIELDS = ("vertices", "edges", "tids")
 
 
 def _pattern_record(pattern: Pattern) -> dict:
+    # Serialize the canonical representative, not whichever isomorphic
+    # embedding the miner happened to build: different execution paths
+    # (serial, runtime workers, sharded coordinator) discover the same
+    # pattern through different embeddings, and byte-identical artifacts
+    # require a graph that is a pure function of the isomorphism class.
+    graph = pattern.graph
+    if graph.num_edges:
+        from ..graph.canonical import min_dfs_code
+
+        graph = min_dfs_code(graph).to_graph()
     return {
         "kind": "pattern",
-        "vertices": pattern.graph.vertex_labels(),
-        "edges": [[u, v, label] for u, v, label in pattern.graph.edges()],
+        "vertices": graph.vertex_labels(),
+        "edges": [[u, v, label] for u, v, label in graph.edges()],
         "tids": sorted(pattern.tids),
         "support": pattern.support,
     }
@@ -100,7 +110,13 @@ def dump_patterns(
         header.update(meta)
     header.setdefault("backend", DEFAULT_BACKEND_TAG)
     out.write(json.dumps(header) + "\n")
-    for pattern in sorted(patterns, key=lambda p: (p.size, -p.support)):
+    # The canonical-key tiebreaker makes the serialization a pure
+    # function of the pattern *set*: runs that discover the same
+    # patterns in different orders (serial vs sharded, resumed vs
+    # uninterrupted) still dump byte-identical files.
+    for pattern in sorted(
+        patterns, key=lambda p: (p.size, -p.support, repr(p.key))
+    ):
         out.write(json.dumps(_pattern_record(pattern)) + "\n")
 
 

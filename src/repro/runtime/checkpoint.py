@@ -32,7 +32,11 @@ UNITS_DIR = "units"
 MANIFEST_VERSION = 1
 
 # Manifest keys that must match for a directory to be resumable.
-_IDENTITY_KEYS = ("units", "thresholds")
+# ``max_size`` is identity: a checkpoint mined under a different edge
+# cap holds a different pattern set, and adopting it would silently mix
+# caps (absent on either side compares as None, so pre-cap run
+# directories stay resumable by uncapped runs).
+_IDENTITY_KEYS = ("units", "thresholds", "max_size")
 
 
 class CheckpointMismatch(ValueError):

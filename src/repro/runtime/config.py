@@ -8,6 +8,7 @@ telemetry, and compared across runs.
 
 from __future__ import annotations
 
+import random
 from dataclasses import asdict, dataclass
 
 FALLBACKS = ("serial", "none")
@@ -31,6 +32,17 @@ class RuntimeConfig:
         The delay slept after the ``n``-th failed attempt is
         ``min(backoff_max, backoff_base * backoff_factor ** n)`` — classic
         capped exponential backoff.
+    backoff_jitter / backoff_seed:
+        Seeded jitter over the exponential delay.  Without jitter,
+        workers that fail *simultaneously* (one machine fault killing a
+        whole batch, the coordinator expiring several leases in one
+        sweep) retry in lockstep against the same shard store —
+        ``backoff_jitter`` spreads each delay uniformly over
+        ``[delay * (1 - jitter), delay]``.  The spread is a pure
+        function of ``(backoff_seed, unit, attempt)``, so a replayed
+        run sleeps the same delays (deterministic chaos tests) while
+        different units always de-correlate.  ``0.0`` restores the
+        exact fixed schedule.
     fallback:
         What happens once the retry budget is exhausted: ``'serial'`` mines
         the unit in-process with the real miner (the run *degrades* but
@@ -66,6 +78,8 @@ class RuntimeConfig:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 30.0
+    backoff_jitter: float = 0.5
+    backoff_seed: int = 0
     fallback: str = "serial"
     start_method: str | None = None
     kill_grace: float = 5.0
@@ -85,13 +99,31 @@ class RuntimeConfig:
             )
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1]: {self.backoff_jitter}"
+            )
 
-    def backoff_delay(self, failed_attempts: int) -> float:
-        """Delay slept after the ``failed_attempts``-th failure (0-based)."""
-        return min(
+    def backoff_delay(
+        self, failed_attempts: int, unit: int | None = None
+    ) -> float:
+        """Delay slept after the ``failed_attempts``-th failure (0-based).
+
+        ``unit`` keys the jitter: two units sharing an attempt number
+        draw different (but replayable) spreads, so a batch of workers
+        killed together never retries in lockstep.  ``None`` (and
+        ``backoff_jitter=0``) returns the bare exponential delay.
+        """
+        delay = min(
             self.backoff_max,
             self.backoff_base * self.backoff_factor**failed_attempts,
         )
+        if unit is None or self.backoff_jitter <= 0 or delay <= 0:
+            return delay
+        rng = random.Random(
+            f"{self.backoff_seed}:{unit}:{failed_attempts}"
+        )
+        return delay * (1.0 - self.backoff_jitter * rng.random())
 
     def to_dict(self) -> dict:
         """JSON-ready form (embedded in run telemetry)."""

@@ -369,7 +369,7 @@ class MiningRuntime:
                     patterns = mined
                     break
                 if attempt < config.max_retries:
-                    delay = config.backoff_delay(attempt)
+                    delay = config.backoff_delay(attempt, unit=task.index)
                     record.backoff = delay
                     if delay > 0:
                         self.sleep(delay)

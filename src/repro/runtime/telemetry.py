@@ -87,6 +87,13 @@ class RunTelemetry:
     replacement by it: when the run was traced it holds the trace id,
     the trace-file path and the sink's written/dropped counts (see
     :mod:`repro.obs`); empty for untraced runs.
+
+    ``coord`` carries the sharded-mining coordinator's digest when the
+    run was sharded (:mod:`repro.coord`): per-shard, per-attempt retry
+    records plus lease-expiry and reassignment counters, so a chaos run
+    is debuggable from this JSON alone — which worker held each lease,
+    when it expired, where the shard was reassigned, and what the
+    global-support phase merged.  Empty for unsharded runs.
     """
 
     units: list[UnitRecord] = field(default_factory=list)
@@ -95,6 +102,7 @@ class RunTelemetry:
     perf: dict = field(default_factory=dict)
     serving: dict = field(default_factory=dict)
     trace: dict = field(default_factory=dict)
+    coord: dict = field(default_factory=dict)
 
     def unit(self, index: int) -> UnitRecord:
         for record in self.units:
@@ -144,6 +152,7 @@ class RunTelemetry:
             "perf": self.perf,
             "serving": self.serving,
             "trace": self.trace,
+            "coord": self.coord,
             "units": [asdict(record) for record in self.units],
         }
 
@@ -170,6 +179,7 @@ class RunTelemetry:
             perf=data.get("perf", {}),
             serving=data.get("serving", {}),
             trace=data.get("trace", {}),
+            coord=data.get("coord", {}),
         )
 
     def save(self, path: str | Path) -> None:

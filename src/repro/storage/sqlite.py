@@ -126,6 +126,25 @@ def fragment_text(fragment: tuple) -> str:
     return json.dumps(list(fragment), separators=(",", ":"), default=str)
 
 
+# Fragment-postings queries (StoredFragmentIndex), module-level so the
+# query-plan regression test can EXPLAIN exactly the strings production
+# runs: every one must resolve through the WITHOUT ROWID composite
+# primary keys — a full SCAN of a postings table is a perf regression.
+# ``{placeholders}`` expands to the ``?`` list of the fid/fragment set.
+SQL_CANDIDATE_PATTERNS = (
+    "SELECT pp.pid FROM pattern_postings pp"
+    " WHERE pp.version=? AND pp.fid IN ({placeholders})"
+    " GROUP BY pp.pid HAVING COUNT(*) = ("
+    "SELECT nfrag FROM patterns p"
+    " WHERE p.version=? AND p.pid=pp.pid)"
+)
+SQL_CANDIDATE_GRAPHS = (
+    "SELECT gid FROM graph_postings"
+    " WHERE version=? AND fid IN ({placeholders})"
+    " GROUP BY gid HAVING COUNT(*)=?"
+)
+
+
 class SQLiteBackend(StorageBackend):
     """WAL-mode SQLite storage engine (see module docs)."""
 
@@ -919,13 +938,8 @@ class StoredFragmentIndex:
             if row is not None:
                 known.append(row[0])
         if known:
-            placeholders = ",".join("?" * len(known))
-            sql = (
-                "SELECT pp.pid FROM pattern_postings pp"
-                f" WHERE pp.version=? AND pp.fid IN ({placeholders})"
-                " GROUP BY pp.pid HAVING COUNT(*) = ("
-                "SELECT nfrag FROM patterns p"
-                " WHERE p.version=? AND p.pid=pp.pid)"
+            sql = SQL_CANDIDATE_PATTERNS.format(
+                placeholders=",".join("?" * len(known))
             )
             candidates.update(
                 row[0]
@@ -956,11 +970,8 @@ class StoredFragmentIndex:
         fids = self._fids(fragments)
         if fids is None:
             return set()
-        placeholders = ",".join("?" * len(fids))
-        sql = (
-            "SELECT gid FROM graph_postings"
-            f" WHERE version=? AND fid IN ({placeholders})"
-            " GROUP BY gid HAVING COUNT(*)=?"
+        sql = SQL_CANDIDATE_GRAPHS.format(
+            placeholders=",".join("?" * len(fids))
         )
         return {
             row[0]

@@ -156,6 +156,7 @@ class TestBackoff:
             backoff_base=0.1,
             backoff_factor=3.0,
             backoff_max=100.0,
+            backoff_jitter=0.0,  # the pure exponential schedule
         )
         slept: list[float] = []
         runtime = MiningRuntime(
@@ -186,6 +187,39 @@ class TestBackoff:
         assert config.backoff_delay(0) == 1.0
         assert config.backoff_delay(1) == 5.0
         assert config.backoff_delay(9) == 5.0
+
+    def test_backoff_jitter_is_seeded_and_bounded(self):
+        """Jitter spreads retry storms without losing reproducibility."""
+        config = RuntimeConfig(
+            backoff_base=0.1,
+            backoff_factor=3.0,
+            backoff_max=100.0,
+            backoff_jitter=0.5,
+            backoff_seed=7,
+        )
+        bare = 0.1 * 3.0**2
+        delay = config.backoff_delay(2, unit=5)
+        # Deterministic: same (seed, unit, attempt) -> same delay.
+        assert delay == config.backoff_delay(2, unit=5)
+        # Bounded: within [bare * (1 - jitter), bare].
+        assert bare * 0.5 <= delay <= bare
+        # Spread: different units (and seeds) land on different delays,
+        # so simultaneous retries do not stampede in lockstep.
+        assert delay != config.backoff_delay(2, unit=6)
+        reseeded = RuntimeConfig(
+            backoff_base=0.1,
+            backoff_factor=3.0,
+            backoff_max=100.0,
+            backoff_jitter=0.5,
+            backoff_seed=8,
+        )
+        assert delay != reseeded.backoff_delay(2, unit=5)
+        # No unit context (or jitter 0) gives the bare exponential.
+        assert config.backoff_delay(2) == pytest.approx(bare)
+
+    def test_backoff_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(backoff_jitter=1.5)
 
 
 class TestDegradation:

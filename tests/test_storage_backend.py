@@ -402,6 +402,52 @@ class TestSnapshots:
 
 
 # ----------------------------------------------------------------------
+# Query plans: postings lookups must never degenerate to table scans
+# ----------------------------------------------------------------------
+class TestPostingsQueryPlans:
+    """EXPLAIN the exact production SQL of the fragment-postings index.
+
+    Both candidate queries must resolve through the ``WITHOUT ROWID``
+    composite primary keys — a plan step that SCANs a postings table
+    means every published snapshot's postings are walked per probe, the
+    exact regression the composite PKs exist to prevent.
+    """
+
+    def _details(self, backend, sql, params):
+        rows = backend._conn.execute(
+            "EXPLAIN QUERY PLAN " + sql, params
+        ).fetchall()
+        return [row[3] for row in rows]
+
+    def test_candidate_queries_search_not_scan(self, backend):
+        from repro.storage.sqlite import (
+            SQL_CANDIDATE_GRAPHS,
+            SQL_CANDIDATE_PATTERNS,
+        )
+
+        db = filled(backend)
+        publish(backend, db)
+        plans = {
+            "candidate_patterns": self._details(
+                backend,
+                SQL_CANDIDATE_PATTERNS.format(placeholders="?,?"),
+                (1, 1, 2, 1),
+            ),
+            "candidate_graphs": self._details(
+                backend,
+                SQL_CANDIDATE_GRAPHS.format(placeholders="?,?"),
+                (1, 1, 2, 2),
+            ),
+        }
+        for name, details in plans.items():
+            assert any(
+                "USING" in detail for detail in details
+            ), (name, details)
+            for detail in details:
+                assert not detail.startswith("SCAN"), (name, details)
+
+
+# ----------------------------------------------------------------------
 # Stored fragment index vs the eager one
 # ----------------------------------------------------------------------
 class TestStoredFragmentIndex:
