@@ -14,6 +14,7 @@ import pytest
 from repro.core.mergejoin import merge_join
 from repro.datagen.random_models import erdos_renyi
 from repro.datagen.synthetic import generate_dataset
+from repro.graph.database import GraphDatabase
 from repro.graph.canonical import min_dfs_code
 from repro.graph.isomorphism import subgraph_exists
 from repro.mining.gaston import GastonMiner
@@ -78,6 +79,36 @@ class TestMiningMicro:
     def test_gaston_small_database(self, benchmark, micro_db):
         result = benchmark(GastonMiner().mine, micro_db, 0.15)
         assert len(result) > 0
+
+
+class TestDatabaseMicro:
+    """Bulk insertion — the path neighborhood extraction batches through."""
+
+    @pytest.fixture(scope="class")
+    def unit_batch(self):
+        rng = random.Random(41)
+        return [
+            (gid, erdos_renyi(12, 0.1, 4, rng)) for gid in range(500)
+        ]
+
+    def test_add_graphs_bulk(self, benchmark, unit_batch):
+        def bulk():
+            db = GraphDatabase()
+            db.add_graphs(unit_batch)
+            return db
+
+        db = benchmark(bulk)
+        assert len(db) == len(unit_batch)
+
+    def test_add_one_by_one(self, benchmark, unit_batch):
+        def loop():
+            db = GraphDatabase()
+            for gid, graph in unit_batch:
+                db.add(gid, graph)
+            return db
+
+        db = benchmark(loop)
+        assert len(db) == len(unit_batch)
 
 
 class TestMergeJoinMicro:

@@ -1,0 +1,31 @@
+"""Single-large-graph mining: r-neighborhood decomposition + MNI support.
+
+ROADMAP item 5.  One large labeled graph is decomposed into the r-hop
+neighborhoods of its (optionally label-restricted) pivot vertices
+(:mod:`~repro.biggraph.extract`), mined as an ordinary transactional
+database through the full PartMiner pipeline — partitioning, merge-join,
+acceleration, sharding, storage — and the candidate patterns are then
+re-verified under minimum-image-based support
+(:mod:`~repro.biggraph.mni`).  :class:`BigGraphMiner` is the façade;
+the CLI exposes it as ``repro mine-big`` / ``repro neighborhoods``.
+"""
+
+from .extract import (
+    ExtractionStats,
+    NeighborhoodExtractor,
+    neighborhood_vertices,
+)
+from .miner import SUPPORT_MODES, BigGraphMiner, BigGraphResult
+from .mni import MNICount, MNISupport, pattern_radius
+
+__all__ = [
+    "BigGraphMiner",
+    "BigGraphResult",
+    "ExtractionStats",
+    "MNICount",
+    "MNISupport",
+    "NeighborhoodExtractor",
+    "SUPPORT_MODES",
+    "neighborhood_vertices",
+    "pattern_radius",
+]

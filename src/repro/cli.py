@@ -3,7 +3,10 @@
 Commands
 --------
 ``generate``  — synthesize a database (Table 1 parameters) to a t/v/e file
+``generate-big`` — grow one large graph with planted frequent neighborhoods
 ``mine``      — mine frequent patterns (partminer / gspan / gaston / adimine)
+``mine-big``  — mine one large graph via r-neighborhoods + MNI support
+``neighborhoods`` — inspect (or export) an r-neighborhood decomposition
 ``partition`` — split a database into k units and report cut statistics
 ``update``    — apply a random update batch to a database file
 ``show``      — export a database or mined patterns as Graphviz DOT
@@ -344,6 +347,199 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_labels(text: str | None):
+    """Comma-separated label list; ints when they look like ints."""
+    if text is None:
+        return None
+    labels = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            labels.append(int(token))
+        except ValueError:
+            labels.append(token)
+    return frozenset(labels) if labels else None
+
+
+def _load_single_graph(args: argparse.Namespace):
+    """The one graph of a single-graph ``.tve`` file."""
+    database = _load_database(args)
+    gids = database.gids()
+    if len(gids) != 1:
+        print(
+            f"repro: {args.database} holds {len(gids)} graphs; "
+            "mine-big/neighborhoods expect a single large graph",
+            file=sys.stderr,
+        )
+        return None
+    return database[gids[0]]
+
+
+def cmd_generate_big(args: argparse.Namespace) -> int:
+    """Grow a single large graph with planted frequent neighborhoods."""
+    from .datagen.large_graph import LargeGraphSpec, generate_large_graph
+
+    spec = LargeGraphSpec(
+        vertices=args.vertices,
+        edges_per_vertex=args.edges_per_vertex,
+        num_labels=args.labels,
+        communities=args.communities,
+        mixing=args.mixing,
+        planted=args.planted,
+        copies=args.copies,
+        planted_size=args.planted_size,
+        seed=args.seed,
+    )
+    result = generate_large_graph(spec)
+    with open(args.output, "w", encoding="utf-8") as out:
+        graph_io.write_graph(result.graph, 0, out)
+    print(
+        f"wrote large graph ({result.graph.num_vertices} vertices, "
+        f"{result.graph.num_edges} edges, {args.planted} planted "
+        f"patterns x {args.copies} copies) to {args.output}"
+    )
+    if args.planted_out:
+        with open(args.planted_out, "w", encoding="utf-8") as out:
+            for index, planted in enumerate(result.planted):
+                graph_io.write_graph(planted.graph, index, out)
+        print(
+            f"wrote {len(result.planted)} planted patterns to "
+            f"{args.planted_out}"
+        )
+    return 0
+
+
+def cmd_mine_big(args: argparse.Namespace) -> int:
+    """Mine one large graph via r-neighborhood decomposition + MNI."""
+    if not _check_storage_flags(args):
+        return 2
+    graph = _load_single_graph(args)
+    if graph is None:
+        return 2
+    from .biggraph import BigGraphMiner
+
+    backend = None
+    if args.backend == "sqlite":
+        from .storage import open_backend
+
+        backend = open_backend(
+            "sqlite", args.db_path, cache_graphs=args.graph_cache
+        )
+    runtime_config = None
+    if args.workers is not None or args.unit_timeout is not None:
+        from .runtime import RuntimeConfig
+
+        runtime_config = RuntimeConfig(
+            max_workers=args.workers,
+            unit_timeout=args.unit_timeout,
+        )
+    miner = BigGraphMiner(
+        radius=args.radius,
+        support_mode=args.support_mode,
+        pivot_labels=_parse_labels(args.pivot_labels),
+        k=args.k,
+        max_size=args.max_size,
+        runtime=runtime_config,
+        run_dir=args.run_dir,
+        shards=args.shards,
+        backend=backend,
+    )
+    result = miner.mine(graph, args.support)
+    stats = result.extraction
+    print(
+        f"decomposed into {stats.pivots} radius-{args.radius} "
+        f"neighborhoods (avg {stats.avg_edges:.1f} edges, "
+        f"max {stats.max_edges}) in {result.extract_time:.2f}s"
+    )
+    print(
+        f"{len(result.candidates)} candidates "
+        f"({result.mine_time:.2f}s) -> {len(result.patterns)} "
+        f"frequent patterns under {args.support_mode} support "
+        f"({result.verify_time:.2f}s)"
+    )
+    if args.output:
+        save_patterns(
+            result.patterns,
+            args.output,
+            meta={"database": args.database, **result.meta()},
+            atomic=True,
+        )
+        print(f"saved to {args.output}")
+    else:
+        for pattern in sorted(
+            result.patterns, key=lambda p: (-p.size, -p.support)
+        )[: args.top]:
+            from .graph.canonical import min_dfs_code
+
+            print(
+                f"  support={pattern.support:4d} size={pattern.size} "
+                f"{min_dfs_code(pattern.graph)}"
+            )
+    exit_code = 0
+    if args.check_planted:
+        from .graph.canonical import canonical_code
+
+        planted = _load_database(args, path=args.check_planted)
+        mined_keys = result.patterns.keys()
+        found = sum(
+            1
+            for _gid, pattern_graph in planted
+            if canonical_code(pattern_graph) in mined_keys
+        )
+        print(f"planted recall: {found}/{len(planted)}")
+        if found != len(planted):
+            exit_code = 1
+    if backend is not None:
+        backend.close()
+    return exit_code
+
+
+def cmd_neighborhoods(args: argparse.Namespace) -> int:
+    """Inspect (or export) the r-neighborhood decomposition."""
+    graph = _load_single_graph(args)
+    if graph is None:
+        return 2
+    from .biggraph import NeighborhoodExtractor
+
+    extractor = NeighborhoodExtractor(
+        radius=args.radius,
+        pivot_labels=_parse_labels(args.pivot_labels),
+    )
+    database = extractor.extract(graph)
+    stats = extractor.stats(database)
+    print(
+        f"{stats.pivots} neighborhoods at radius {args.radius}: "
+        f"avg {stats.avg_vertices:.1f} vertices / "
+        f"{stats.avg_edges:.1f} edges, "
+        f"max {stats.max_vertices} vertices / {stats.max_edges} edges"
+    )
+    largest = sorted(
+        database, key=lambda item: (-item[1].num_edges, item[0])
+    )[: args.top]
+    for pivot, unit in largest:
+        print(
+            f"  pivot {pivot}: {unit.num_vertices} vertices, "
+            f"{unit.num_edges} edges"
+        )
+    if args.shards >= 2:
+        from .coord import ShardPlan
+
+        for balance in ("density", "edges"):
+            plan = ShardPlan.build(database, args.shards, balance=balance)
+            summary = plan.summary()
+            print(
+                f"  shard balance {balance!r}: edge spread "
+                f"{summary['edge_spread']} over {args.shards} shards "
+                f"{summary['edges']}"
+            )
+    if args.output:
+        graph_io.write_database(database, args.output)
+        print(f"wrote neighborhood database to {args.output}")
+    return 0
+
+
 def cmd_partition(args: argparse.Namespace) -> int:
     """Split a database into k units and report cut statistics."""
     database = _load_database(args)
@@ -636,6 +832,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_generate)
 
+    p = sub.add_parser(
+        "generate-big",
+        help="grow one large graph with planted neighborhoods",
+    )
+    p.add_argument("output", help="output .tve file (single graph)")
+    p.add_argument("--vertices", type=int, default=2000,
+                   help="preferential-attachment core size")
+    p.add_argument("--edges-per-vertex", type=int, default=2,
+                   help="attachment edges per new core vertex")
+    p.add_argument("--labels", type=int, default=8,
+                   help="background label domain size (planted patterns "
+                        "use reserved labels above this)")
+    p.add_argument("--communities", type=int, default=4,
+                   help="labeled community blocks in the core")
+    p.add_argument("--mixing", type=float, default=0.1,
+                   help="probability a core vertex labels uniformly "
+                        "instead of from its community slice")
+    p.add_argument("--planted", type=int, default=2,
+                   help="distinct planted patterns")
+    p.add_argument("--copies", type=int, default=20,
+                   help="disjoint copies per planted pattern "
+                        "(= its exact MNI support)")
+    p.add_argument("--planted-size", type=int, default=3,
+                   help="edges per planted star pattern")
+    p.add_argument("--planted-out", default=None,
+                   help="also write the planted patterns to this .tve "
+                        "(one graph per pattern; feeds mine-big "
+                        "--check-planted)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate_big)
+
     p = sub.add_parser("mine", help="mine frequent subgraphs")
     p.add_argument("database", help="input .tve file")
     p.add_argument("support", type=_support,
@@ -710,6 +937,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_storage_flags(p)
     _add_parse_policy(p)
     p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser(
+        "mine-big",
+        help="mine one large graph (r-neighborhoods + MNI support)",
+    )
+    p.add_argument("database", help="single-graph .tve file")
+    p.add_argument("support", type=int,
+                   help="min support: absolute count (MNI or "
+                        "neighborhood count, per --support-mode)")
+    p.add_argument("--radius", type=int, default=1,
+                   help="neighborhood radius r; MNI counts are exact "
+                        "for patterns of radius <= r")
+    p.add_argument("--support-mode", choices=["mni", "neighborhood"],
+                   default="mni",
+                   help="'mni' = minimum-image support over the whole "
+                        "graph (default); 'neighborhood' = number of "
+                        "pivots whose r-neighborhood contains the "
+                        "pattern")
+    p.add_argument("--pivot-labels", default=None,
+                   help="comma-separated vertex labels to pivot on "
+                        "(default: every vertex); restricting pivots "
+                        "switches to pivot-anchored semantics")
+    p.add_argument("-k", type=int, default=2,
+                   help="PartMiner units over the neighborhood database")
+    p.add_argument("--max-size", type=int, default=None,
+                   help="bound on pattern size in edges")
+    p.add_argument("--shards", type=int, default=0,
+                   help="mine candidates through the sharded "
+                        "coordinator with edge-balanced placement")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the sharded run")
+    p.add_argument("--unit-timeout", type=float, default=None,
+                   help="per-attempt wall-clock timeout in seconds")
+    p.add_argument("--run-dir", default=None,
+                   help="checkpoint directory for sharded runs")
+    p.add_argument("--output", help="save patterns to this file")
+    p.add_argument("--top", type=int, default=10,
+                   help="patterns to print when not saving")
+    p.add_argument("--check-planted", default=None,
+                   help="planted-pattern .tve (from generate-big "
+                        "--planted-out); prints recall and exits 1 "
+                        "unless every planted pattern was recovered")
+    _add_storage_flags(p)
+    _add_parse_policy(p)
+    p.set_defaults(func=cmd_mine_big)
+
+    p = sub.add_parser(
+        "neighborhoods",
+        help="inspect the r-neighborhood decomposition of a graph",
+    )
+    p.add_argument("database", help="single-graph .tve file")
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument("--pivot-labels", default=None,
+                   help="comma-separated vertex labels to pivot on")
+    p.add_argument("--top", type=int, default=5,
+                   help="largest neighborhoods to list")
+    p.add_argument("--shards", type=int, default=0,
+                   help="also preview shard balance (density vs edges "
+                        "placement) for this many shards")
+    p.add_argument("--output", default=None,
+                   help="write the neighborhood database to this .tve")
+    _add_parse_policy(p)
+    p.set_defaults(func=cmd_neighborhoods)
 
     p = sub.add_parser("partition", help="split a database into units")
     p.add_argument("database")

@@ -1,12 +1,24 @@
 """Synthetic workload generation (paper Table 1 parameters D/N/T/I/L)."""
 
 from .kernels import generate_kernels, random_connected_graph
+from .large_graph import (
+    LargeGraphResult,
+    LargeGraphSpec,
+    PlantedPattern,
+    generate_large_graph,
+    planted_star,
+)
 from .synthetic import DatasetSpec, SyntheticGenerator, generate_dataset
 
 __all__ = [
     "DatasetSpec",
+    "LargeGraphResult",
+    "LargeGraphSpec",
+    "PlantedPattern",
     "SyntheticGenerator",
     "generate_dataset",
     "generate_kernels",
+    "generate_large_graph",
+    "planted_star",
     "random_connected_graph",
 ]

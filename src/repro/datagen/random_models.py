@@ -51,24 +51,65 @@ def erdos_renyi(
     return graph
 
 
+def community_label(
+    rng: random.Random,
+    community: int,
+    communities: int,
+    num_labels: int,
+    mixing: float = 0.1,
+) -> int:
+    """A vertex label biased toward ``community``'s slice of the domain.
+
+    The label domain ``[0, num_labels)`` is cut into ``communities``
+    contiguous slices; with probability ``1 - mixing`` the label is
+    drawn from the community's own slice, otherwise uniformly — the
+    labeled-community structure of social-style graphs, where label
+    co-occurrence is strongly block-local but not exclusive.
+    """
+    if rng.random() < mixing or communities <= 1:
+        return rng.randrange(num_labels)
+    width = max(1, num_labels // communities)
+    base = ((community % communities) * width) % num_labels
+    return base + rng.randrange(min(width, num_labels - base))
+
+
 def preferential_attachment(
     n: int,
     edges_per_vertex: int,
     num_labels: int,
     rng: random.Random,
+    communities: int | None = None,
+    mixing: float = 0.1,
 ) -> LabeledGraph:
-    """Barabási–Albert-style growth: new vertices attach preferentially."""
+    """Barabási–Albert-style growth: new vertices attach preferentially.
+
+    ``communities`` (when given) assigns each vertex to one of that many
+    blocks round-robin at creation time and draws its label through
+    :func:`community_label`, so labels cluster by block — the structure
+    the single-large-graph workload (:mod:`repro.biggraph`) mines.
+    ``mixing`` is the probability a vertex ignores its block and labels
+    uniformly.  Topology is unchanged: the attachment process never
+    looks at communities, only labels do.
+    """
     if n < 2:
         raise ValueError(f"n must be >= 2: {n}")
     m = max(1, edges_per_vertex)
+
+    def vertex_label(vertex: int) -> int:
+        if communities is None:
+            return _label(rng, num_labels)
+        return community_label(
+            rng, vertex % communities, communities, num_labels, mixing
+        )
+
     graph = LabeledGraph()
-    graph.add_vertex(_label(rng, num_labels))
-    graph.add_vertex(_label(rng, num_labels))
+    graph.add_vertex(vertex_label(0))
+    graph.add_vertex(vertex_label(1))
     graph.add_edge(0, 1, _label(rng, num_labels))
     # Repeated-endpoints urn: vertices appear once per incident edge.
     urn = [0, 1]
     for _ in range(n - 2):
-        new_vertex = graph.add_vertex(_label(rng, num_labels))
+        new_vertex = graph.add_vertex(vertex_label(graph.num_vertices))
         targets: set[int] = set()
         attempts = 0
         while len(targets) < min(m, new_vertex) and attempts < 10 * m:
@@ -130,7 +171,12 @@ def random_model_database(
             n, params.get("p", 0.15), num_labels, rng
         ),
         "ba": lambda: preferential_attachment(
-            n, params.get("edges_per_vertex", 2), num_labels, rng
+            n,
+            params.get("edges_per_vertex", 2),
+            num_labels,
+            rng,
+            communities=params.get("communities"),
+            mixing=params.get("mixing", 0.1),
         ),
         "ws": lambda: ring_lattice(
             n,

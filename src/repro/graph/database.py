@@ -45,13 +45,55 @@ class GraphDatabase:
     @classmethod
     def from_graphs(cls, graphs: Iterable[LabeledGraph]) -> "GraphDatabase":
         """Build a database assigning sequential gids ``0..n-1``."""
-        return cls(enumerate(graphs))
+        database = cls()
+        database.add_graphs(enumerate(graphs))
+        return database
 
     def add(self, gid: int, graph: LabeledGraph) -> None:
         """Insert ``graph`` under ``gid``; raises on duplicate gid."""
         if gid in self._graphs:
             raise ValueError(f"duplicate graph id {gid}")
         self._graphs[gid] = graph
+
+    def add_graphs(
+        self, graphs: Iterable[tuple[int, LabeledGraph]]
+    ) -> int:
+        """Bulk-insert ``(gid, graph)`` pairs; returns the count inserted.
+
+        The batch path of :meth:`add`: validation (duplicate gids, both
+        inside the batch and against the stored set) runs once when the
+        batch is sealed instead of per graph, and plain in-memory
+        databases take a single ``dict.update`` instead of one mapping
+        probe + insert per call — what the neighborhood extractor
+        (:mod:`repro.biggraph`) leans on when materializing one unit
+        graph per vertex of a large graph.  Store-backed databases fall
+        back to per-graph inserts through the mapping protocol (their
+        write cost dominates anyway).  On a duplicate nothing is
+        inserted.
+        """
+        store = self._graphs
+        if type(store) is not dict:
+            staged = list(graphs)
+            for gid, _graph in staged:
+                if gid in store:
+                    raise ValueError(f"duplicate graph id {gid}")
+            for gid, graph in staged:
+                store[gid] = graph
+            return len(staged)
+        staged = list(graphs)
+        batch = dict(staged)
+        if len(batch) != len(staged):
+            seen: set[int] = set()
+            for gid, _graph in staged:
+                if gid in seen:
+                    raise ValueError(f"duplicate graph id {gid}")
+                seen.add(gid)
+        if store:
+            for gid in batch:
+                if gid in store:
+                    raise ValueError(f"duplicate graph id {gid}")
+        store.update(batch)
+        return len(batch)
 
     def replace(self, gid: int, graph: LabeledGraph) -> None:
         """Replace the graph stored under an existing ``gid``."""

@@ -110,6 +110,44 @@ class TestShardPlan:
         plan = ShardPlan.build(db, 4)
         assert ShardPlan.from_dict(plan.to_dict()) == plan
 
+    def test_edge_balance_round_trip_and_manifest_compat(self):
+        db = random_database(seed=15, num_graphs=9, n=5)
+        plan = ShardPlan.build(db, 4, balance="edges")
+        assert plan.to_dict()["balance"] == "edges"
+        assert ShardPlan.from_dict(plan.to_dict()) == plan
+        # Old manifests carry no balance key and must load as density.
+        legacy = ShardPlan.build(db, 4).to_dict()
+        assert "balance" not in legacy
+        assert ShardPlan.from_dict(legacy).balance == "density"
+
+    def test_unknown_balance_rejected(self):
+        db = random_database(seed=15, num_graphs=4, n=4)
+        with pytest.raises(ValueError, match="balance"):
+            ShardPlan.build(db, 2, balance="bogus")
+
+    def test_edge_balance_beats_density_on_neighborhood_skew(self):
+        # Regression for the biggraph workload: a radius-1 neighborhood
+        # database has near-constant density (edges/vertices ≈ 1) while
+        # pivot-degree skew spreads unit sizes over orders of magnitude.
+        # The density deal then degenerates to gid order and piles the
+        # hub neighborhoods together; edge-LPT placement must cut the
+        # summary() edge spread.
+        from repro.biggraph import NeighborhoodExtractor
+        from repro.graph.labeled_graph import LabeledGraph
+
+        g = LabeledGraph()
+        for i in range(120):
+            g.add_vertex(i % 3)
+        # One hub adjacent to everything, plus a sparse ring.
+        for v in range(1, 120):
+            g.add_edge(0, v, 0)
+        for v in range(1, 119):
+            g.add_edge(v, v + 1, 1)
+        db = NeighborhoodExtractor(radius=1).extract(g)
+        density = ShardPlan.build(db, 2).summary()
+        edges = ShardPlan.build(db, 2, balance="edges").summary()
+        assert edges["edge_spread"] < density["edge_spread"]
+
     def test_more_shards_than_graphs(self):
         db = random_database(seed=16, num_graphs=2, n=4)
         plan = ShardPlan.build(db, 5)

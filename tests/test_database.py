@@ -20,6 +20,38 @@ class TestConstruction:
         with pytest.raises(ValueError, match="duplicate"):
             db.add(5, path_graph(2))
 
+    def test_add_graphs_bulk_insert(self):
+        db = GraphDatabase([(0, triangle())])
+        inserted = db.add_graphs(
+            [(5, path_graph(2)), (3, path_graph(3))]
+        )
+        assert inserted == 2
+        assert db.gids() == [0, 5, 3]
+        assert db[3].num_edges == 2
+
+    def test_add_graphs_duplicate_against_stored_is_atomic(self):
+        db = GraphDatabase([(1, triangle())])
+        with pytest.raises(ValueError, match="duplicate graph id 1"):
+            db.add_graphs([(2, path_graph(2)), (1, path_graph(3))])
+        # Nothing from the failed batch landed.
+        assert db.gids() == [1]
+
+    def test_add_graphs_duplicate_within_batch_rejected(self):
+        db = GraphDatabase()
+        with pytest.raises(ValueError, match="duplicate graph id 4"):
+            db.add_graphs([(4, triangle()), (4, path_graph(2))])
+        assert len(db) == 0
+
+    def test_add_graphs_empty_batch(self):
+        db = GraphDatabase()
+        assert db.add_graphs([]) == 0
+
+    def test_from_graphs_routes_through_bulk_path(self):
+        db = GraphDatabase.from_graphs(
+            [triangle(), path_graph(2), path_graph(4)]
+        )
+        assert db.gids() == [0, 1, 2]
+
     def test_replace_requires_existing(self):
         db = GraphDatabase()
         with pytest.raises(KeyError):

@@ -60,6 +60,69 @@ class TestPreferentialAttachment:
             preferential_attachment(1, 2, 3, random.Random(0))
 
 
+class TestCommunityLabels:
+    def _dump(self, graph):
+        from repro.graph.io import dumps
+        from repro.graph.database import GraphDatabase
+
+        return dumps(GraphDatabase.from_graphs([graph]))
+
+    def test_seed_deterministic(self):
+        a = preferential_attachment(
+            80, 2, 12, random.Random(9), communities=4, mixing=0.1
+        )
+        b = preferential_attachment(
+            80, 2, 12, random.Random(9), communities=4, mixing=0.1
+        )
+        assert self._dump(a) == self._dump(b)
+
+    def test_heavy_tail_survives_communities(self):
+        # Communities only touch labels; the attachment process stays
+        # preferential, so hubs still emerge.
+        g = preferential_attachment(
+            60, 2, 12, random.Random(6), communities=4
+        )
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+        assert g.is_connected()
+
+    def test_labels_cluster_by_block(self):
+        # With zero mixing, a vertex's label falls in its community's
+        # slice of the domain: community = vertex % communities,
+        # slice width = num_labels // communities.
+        g = preferential_attachment(
+            100, 2, 12, random.Random(7), communities=4, mixing=0.0
+        )
+        width = 12 // 4
+        for v in range(g.num_vertices):
+            base = (v % 4) * width
+            assert base <= g.vertex_label(v) < base + width
+
+    def test_mixing_escapes_blocks(self):
+        g = preferential_attachment(
+            200, 2, 12, random.Random(8), communities=4, mixing=1.0
+        )
+        escaped = sum(
+            1
+            for v in range(g.num_vertices)
+            if not (
+                (v % 4) * 3 <= g.vertex_label(v) < (v % 4) * 3 + 3
+            )
+        )
+        assert escaped > 0
+
+    def test_database_builder_passes_communities(self):
+        a = random_model_database(
+            "ba", 3, 40, num_labels=12, seed=5, communities=4
+        )
+        b = random_model_database(
+            "ba", 3, 40, num_labels=12, seed=5, communities=4
+        )
+        from repro.graph.io import dumps
+
+        assert dumps(a) == dumps(b)
+
+
 class TestRingLattice:
     def test_no_rewiring_is_regular(self):
         g = ring_lattice(10, 2, 0.0, 3, random.Random(7))
